@@ -1,0 +1,91 @@
+// Figure 4 — effect of the quasi-learning-rate factor on the energy
+// convergence of multi-sample FEKF.
+//
+// The paper's Eq. 2 scales the Kalman weight step by sqrt(bs) and Figure 4
+// shows this converging faster than factor 1. This harness trains FEKF
+// with factor 1, sqrt(bs), and bs and prints the per-epoch Energy RMSE
+// series (the figure's curves).
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace fekf;
+using namespace fekf::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig4_qlr",
+          "Figure 4: quasi-learning-rate factor vs energy convergence");
+  add_common_flags(cli);
+  cli.flag("system", "Cu", "catalog system")
+      .flag("batch", "8", "FEKF batch size")
+      .flag("epochs", "12", "training epochs");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const i64 batch = cli.get_int("batch");
+  const i64 epochs = cli.get_int("epochs");
+  const f64 factors[] = {1.0, std::sqrt(static_cast<f64>(batch)),
+                         static_cast<f64>(batch)};
+  const char* labels[] = {"factor 1", "factor sqrt(bs)", "factor bs"};
+
+  std::vector<std::vector<f64>> series;
+  for (const f64 factor : factors) {
+    Fixture f = make_fixture(cli.get("system"), cli);
+    train::TrainOptions opts;
+    opts.batch_size = batch;
+    opts.max_epochs = epochs;
+    opts.eval_max_samples = 16;
+    opts.qlr_factor = factor;
+    opts.seed = static_cast<u64>(cli.get_int("seed"));
+    optim::KalmanConfig kcfg;
+    kcfg.blocksize = cli.get_int("blocksize");
+    train::KalmanTrainer trainer(*f.model, kcfg, opts);
+    train::TrainResult result = trainer.train(f.train_envs, {});
+    // Best-so-far envelope: training is stochastic at this scale, and the
+    // paper's convergence claim is about how fast each factor reaches a
+    // given accuracy.
+    std::vector<f64> curve;
+    f64 best = 1e30;
+    for (const auto& rec : result.history) {
+      best = std::min(best, rec.train.total());
+      curve.push_back(best);
+    }
+    series.push_back(curve);
+  }
+
+  std::printf("Figure 4 reproduction: best-so-far (E+F) RMSE per epoch, FEKF "
+              "batch %lld on %s\n",
+              static_cast<long long>(batch), cli.get("system").c_str());
+  std::vector<std::string> header = {"epoch"};
+  for (const char* l : labels) header.emplace_back(l);
+  Table table(header);
+  for (i64 e = 0; e < epochs; ++e) {
+    std::vector<std::string> row = {std::to_string(e + 1)};
+    for (const auto& curve : series) {
+      row.push_back(e < static_cast<i64>(curve.size())
+                        ? Table::num(curve[static_cast<std::size_t>(e)])
+                        : "-");
+    }
+    table.add_row(row);
+  }
+  table.print();
+
+  // Area-under-envelope summary: lower = faster convergence.
+  std::printf("\nmean best-so-far RMSE over the run (lower = faster "
+              "convergence):\n");
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    f64 mean = 0.0;
+    for (const f64 v : series[s]) mean += v;
+    mean /= static_cast<f64>(series[s].size());
+    std::printf("  %-16s %.4f (final %.4f)\n", labels[s], mean,
+                series[s].back());
+  }
+  std::printf(
+      "\nPaper shape: the sqrt(bs) factor converges fastest (Figure 4). "
+      "NOTE: the sqrt(bs) advantage assumes per-sample measurement "
+      "gradients that decorrelate across the batch (so the reduced "
+      "gradient shrinks by sqrt(bs) and the factor restores the step "
+      "size). At this repo's miniature data scale the per-group force "
+      "gradients stay correlated for many epochs, so smaller factors can "
+      "win; EXPERIMENTS.md discusses the deviation.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Figure 7(b)/(c) — CUDA-kernel launches and iteration time under the
+// step-by-step system optimizations.
+//
+// Configurations (cumulative, as in the paper):
+//   baseline  framework-autograd style: per-atom composed descriptor ops,
+//             unfused linear/tanh, unfused P update, no Pg caching
+//   opt1      hand-written (batched) descriptor-derivative kernels (Fig. 6)
+//   opt2      + fused linear / tanh-backward kernels (torch.compile analog)
+//   opt3      + custom P-update kernel and Pg reuse in the optimizer
+//
+// For each configuration the harness reports (b) the number of primitive-
+// kernel launches for one ENERGY update and one FORCE update (the paper's
+// two bar groups: 397->174 and 846->281 on the A100), and (c) the
+// iteration time split into forward / gradient / KF-update phases.
+#include "bench_common.hpp"
+#include "tensor/kernel_counter.hpp"
+
+using namespace fekf;
+using namespace fekf::bench;
+
+namespace {
+
+struct Config {
+  const char* name;
+  deepmd::FusionLevel fusion;
+  bool opt3;
+};
+
+struct Sample {
+  i64 energy_kernels = 0;
+  i64 force_kernels = 0;
+  f64 forward_s = 0.0, gradient_s = 0.0, optimizer_s = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig7bc_kernels",
+          "Figure 7b/7c: kernel launches and iteration time per "
+          "optimization level");
+  add_common_flags(cli);
+  cli.flag("system", "Cu", "catalog system")
+      .flag("batch", "8", "FEKF batch size (paper: 64)")
+      .flag("iters", "3", "measured iterations per configuration");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const Config configs[] = {
+      {"baseline", deepmd::FusionLevel::kBaseline, false},
+      {"opt1", deepmd::FusionLevel::kOpt1, false},
+      {"opt2", deepmd::FusionLevel::kOpt2, false},
+      {"opt3", deepmd::FusionLevel::kOpt2, true},
+  };
+  const i64 batch = cli.get_int("batch");
+  const i64 iters = cli.get_int("iters");
+
+  std::vector<Sample> samples;
+  for (const Config& config : configs) {
+    Fixture f = make_fixture(cli.get("system"), cli);
+    f.model->set_fusion(config.fusion);
+    train::TrainOptions opts;
+    opts.batch_size = batch;
+    opts.seed = static_cast<u64>(cli.get_int("seed"));
+    optim::KalmanConfig kcfg;
+    kcfg.blocksize = cli.get_int("blocksize");
+    kcfg.fused_p_update = config.opt3;
+    kcfg.cache_pg = config.opt3;
+    train::KalmanTrainer trainer(*f.model, kcfg, opts);
+
+    std::span<const train::EnvPtr> all(f.train_envs);
+    auto batch_span = all.subspan(0, static_cast<std::size_t>(batch));
+    Rng group_rng(7);
+    auto groups =
+        train::make_force_groups(f.train_envs.front()->natoms, 4, group_rng);
+
+    // Warm-up iteration (excluded), then measured iterations.
+    trainer.energy_update(batch_span);
+    trainer.force_update(batch_span, groups[0]);
+    trainer.forward_timer().reset();
+    trainer.gradient_timer().reset();
+    trainer.optimizer_timer().reset();
+
+    Sample sample;
+    for (i64 it = 0; it < iters; ++it) {
+      {
+        KernelCountScope scope;
+        trainer.energy_update(batch_span);
+        sample.energy_kernels += scope.count();
+      }
+      {
+        KernelCountScope scope;
+        trainer.force_update(batch_span,
+                             groups[static_cast<std::size_t>(it % 4)]);
+        sample.force_kernels += scope.count();
+      }
+    }
+    sample.energy_kernels /= iters;
+    sample.force_kernels /= iters;
+    sample.forward_s = trainer.forward_timer().total_seconds() / iters;
+    sample.gradient_s = trainer.gradient_timer().total_seconds() / iters;
+    sample.optimizer_s = trainer.optimizer_timer().total_seconds() / iters;
+    samples.push_back(sample);
+    std::printf("  %-8s measured\n", config.name);
+  }
+
+  std::printf("\nFigure 7b reproduction: primitive-kernel launches per "
+              "update (%s, batch %lld)\n",
+              cli.get("system").c_str(), static_cast<long long>(batch));
+  Table tb({"config", "energy-update kernels", "force-update kernels",
+            "step total (1E + 4F)"});
+  for (std::size_t c = 0; c < samples.size(); ++c) {
+    const Sample& s = samples[c];
+    tb.add_row({configs[c].name, std::to_string(s.energy_kernels),
+                std::to_string(s.force_kernels),
+                std::to_string(s.energy_kernels + 4 * s.force_kernels)});
+  }
+  tb.print();
+  const f64 kernel_reduction =
+      1.0 - static_cast<f64>(samples.back().energy_kernels +
+                             4 * samples.back().force_kernels) /
+                static_cast<f64>(samples.front().energy_kernels +
+                                 4 * samples.front().force_kernels);
+  std::printf("kernel reduction baseline -> opt3: %.0f%% (paper: 64%%, "
+              "3781 -> 1298)\n",
+              100.0 * kernel_reduction);
+
+  std::printf("\nFigure 7c reproduction: iteration time split "
+              "(forward / gradient / KF update), seconds per iteration\n");
+  Table tc({"config", "forward", "gradient", "KF update", "total",
+            "speedup vs baseline"});
+  const f64 base_total = samples.front().forward_s +
+                         samples.front().gradient_s +
+                         samples.front().optimizer_s;
+  for (std::size_t c = 0; c < samples.size(); ++c) {
+    const Sample& s = samples[c];
+    const f64 total = s.forward_s + s.gradient_s + s.optimizer_s;
+    tc.add_row({configs[c].name, fmt("%.3f", s.forward_s),
+                fmt("%.3f", s.gradient_s), fmt("%.3f", s.optimizer_s),
+                fmt("%.3f", total), fmt("%.2fx", base_total / total)});
+  }
+  tc.print();
+  std::printf("\nPaper shape: launches drop sharply at opt1 (fused "
+              "descriptor derivatives) and the iteration accelerates "
+              "step-by-step (paper total: 3.48x on the A100).\n");
+  return 0;
+}

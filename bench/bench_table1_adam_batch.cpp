@@ -1,0 +1,126 @@
+// Table 1 — Adam-based DeePMD convergence under different training batch
+// sizes.
+//
+// The paper shows that growing Adam's mini-batch from 1 to 32 costs
+// ~12-25x more epochs to reach the same Energy RMSE (with the default
+// sqrt(bs) learning-rate scaling), and 32 -> 64 roughly doubles it again.
+// This harness measures epochs-to-target for a batch-size ladder. The
+// target is the best Energy RMSE the bs=1 run reaches (times a slack
+// factor), exactly like the paper anchors Table 1 on the bs=1 result.
+#include "bench_common.hpp"
+
+using namespace fekf;
+using namespace fekf::bench;
+
+namespace {
+
+struct RunOutcome {
+  std::vector<f64> e_rmse_per_epoch;
+
+  f64 best() const {
+    f64 b = 1e30;
+    for (const f64 v : e_rmse_per_epoch) b = std::min(b, v);
+    return b;
+  }
+  i64 epochs_to(f64 target) const {
+    for (std::size_t e = 0; e < e_rmse_per_epoch.size(); ++e) {
+      if (e_rmse_per_epoch[e] <= target) return static_cast<i64>(e) + 1;
+    }
+    return -1;
+  }
+};
+
+RunOutcome run_adam(const std::string& system, const Cli& cli, i64 batch,
+                    i64 max_epochs) {
+  Fixture f = make_fixture(system, cli);
+  train::TrainOptions opts;
+  opts.batch_size = batch;
+  opts.max_epochs = max_epochs;
+  opts.eval_max_samples = 16;
+  opts.eval_forces = false;  // Table 1 tracks Energy RMSE
+  opts.seed = static_cast<u64>(cli.get_int("seed"));
+  optim::AdamConfig acfg;
+  acfg.lr_scale = std::sqrt(static_cast<f64>(batch));  // paper's scaling
+  // Let the schedule complete within the budget (paper: 0.95 every 5000
+  // steps over ~1e5+ steps; here the step count is smaller).
+  const i64 steps_per_epoch =
+      (static_cast<i64>(f.train_envs.size()) + batch - 1) / batch;
+  acfg.decay_steps = std::max<i64>(8, steps_per_epoch * max_epochs / 48);
+  train::AdamTrainer trainer(*f.model, acfg, {}, opts);
+  train::TrainResult result = trainer.train(f.train_envs, {});
+  RunOutcome out;
+  for (const auto& rec : result.history) {
+    out.e_rmse_per_epoch.push_back(rec.train.energy_rmse);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_table1_adam_batch",
+          "Table 1: Adam epochs-to-target vs mini-batch size");
+  add_common_flags(cli);
+  cli.flag("systems", "Cu", "comma-separated catalog systems")
+      .flag("batches", "1,8,16",
+            "batch-size ladder (paper: 1,32,64 — use with a larger --train)")
+      .flag("epochs1", "16", "epoch budget for the smallest batch")
+      .flag("slack", "1.10",
+            "target = slack * best bs=1 Energy RMSE");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto systems = split_list(cli.get("systems"));
+  const auto batches = split_int_list(cli.get("batches"));
+  FEKF_CHECK(batches.size() >= 2, "need at least two batch sizes");
+
+  std::vector<std::string> header = {"System", "target E-RMSE (eV)"};
+  for (const i64 b : batches) header.push_back("bs " + std::to_string(b));
+  for (std::size_t i = 1; i < batches.size(); ++i) {
+    header.push_back("growth " + std::to_string(batches[i]) + "/" +
+                     std::to_string(batches[i - 1]));
+  }
+  Table table(header);
+
+  std::printf("Table 1 reproduction: Adam epochs to reach the bs=1 Energy "
+              "RMSE under larger mini-batches\n");
+  for (const std::string& system : systems) {
+    // One run per batch size; the bs = batches[0] run anchors the target
+    // (the paper fixes the error at the bs=1 converged Energy RMSE). The
+    // budget grows with batch size since the epoch count does (the paper
+    // observed up to ~25x for bs 32; cap at 40x the anchor budget).
+    const i64 epochs1 = cli.get_int("epochs1");
+    std::vector<RunOutcome> runs;
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      const i64 budget = std::min<i64>(
+          epochs1 * 40,
+          epochs1 * std::max<i64>(1, 2 * batches[i] / batches[0]));
+      runs.push_back(run_adam(system, cli, batches[i], budget));
+      std::printf("  %s bs %lld done\n", system.c_str(),
+                  static_cast<long long>(batches[i]));
+    }
+    const f64 target = runs[0].best() * cli.get_double("slack");
+    std::vector<i64> epochs(batches.size(), -1);
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      epochs[i] = runs[i].epochs_to(target);
+    }
+    std::vector<std::string> row = {system, Table::num(target)};
+    for (const i64 e : epochs) {
+      row.push_back(e < 0 ? "-" : std::to_string(e));
+    }
+    for (std::size_t i = 1; i < batches.size(); ++i) {
+      if (epochs[i] < 0 || epochs[i - 1] <= 0) {
+        row.push_back("-");
+      } else {
+        row.push_back(fmt("%.1fx", static_cast<f64>(epochs[i]) /
+                                       static_cast<f64>(epochs[i - 1])));
+      }
+    }
+    table.add_row(row);
+  }
+  table.print();
+  std::printf(
+      "\nPaper shape: epochs grow steeply with batch size (Cu: 17 -> 327 -> "
+      "703 for bs 1/32/64, i.e. 19.2x then 2.1x); '-' = target not reached "
+      "within the epoch budget, which is itself the paper's CuO outcome.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Table 4 — convergence ratio and accuracy of multi-sample FEKF vs
+// single-sample Adam on the eight catalog systems.
+//
+// The paper reports, per system: the epochs Adam bs=1 needs to converge,
+// the FEKF-bs-32 / Adam epoch ratio (0.07-0.23), and train/test RMSE for
+// both showing no generalization gap. Here both optimizers run to a common
+// target (the better of the two final accuracies, with slack) and the
+// epoch counts, ratio, and train/test RMSE are tabulated.
+#include "bench_common.hpp"
+
+using namespace fekf;
+using namespace fekf::bench;
+
+namespace {
+
+struct RunResult {
+  train::TrainResult result;
+  i64 epochs_to(f64 target) const {
+    for (const auto& rec : result.history) {
+      if (rec.train.total() <= target) return rec.epoch;
+    }
+    return -1;
+  }
+  /// Epoch record with the lowest train total RMSE (training is noisy at
+  /// bench scale; the paper reports converged values).
+  const train::EpochRecord& best_epoch() const {
+    std::size_t best = 0;
+    for (std::size_t e = 1; e < result.history.size(); ++e) {
+      if (result.history[e].train.total() <
+          result.history[best].train.total()) {
+        best = e;
+      }
+    }
+    return result.history[best];
+  }
+  f64 best_total() const { return best_epoch().train.total(); }
+};
+
+RunResult run_adam(const std::string& system, const Cli& cli, i64 epochs) {
+  Fixture f = make_fixture(system, cli);
+  train::TrainOptions opts;
+  opts.batch_size = 1;
+  opts.max_epochs = epochs;
+  opts.eval_max_samples = 16;
+  opts.seed = static_cast<u64>(cli.get_int("seed"));
+  optim::AdamConfig acfg;
+  const i64 steps = static_cast<i64>(f.train_envs.size()) * epochs;
+  acfg.decay_steps = std::max<i64>(8, steps / 48);
+  train::AdamTrainer trainer(*f.model, acfg, {}, opts);
+  return RunResult{trainer.train(f.train_envs, f.test_envs)};
+}
+
+RunResult run_fekf(const std::string& system, const Cli& cli, i64 batch,
+                   i64 epochs) {
+  Fixture f = make_fixture(system, cli);
+  train::TrainOptions opts;
+  opts.batch_size = batch;
+  opts.max_epochs = epochs;
+  opts.eval_max_samples = 16;
+  opts.seed = static_cast<u64>(cli.get_int("seed"));
+  optim::KalmanConfig kcfg = optim::KalmanConfig::for_batch_size(batch);
+  kcfg.blocksize = cli.get_int("blocksize");
+  train::KalmanTrainer trainer(*f.model, kcfg, opts);
+  return RunResult{trainer.train(f.train_envs, f.test_envs)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_table4_convergence",
+          "Table 4: FEKF-vs-Adam convergence ratio and train/test RMSE");
+  add_common_flags(cli);
+  cli.flag("systems", "Cu,Al,Si,NaCl,Mg,H2O,CuO,HfO2",
+           "comma-separated catalog systems")
+      .flag("batch", "8", "FEKF batch size (paper: 32)")
+      .flag("adam-epochs", "16", "Adam bs=1 epoch budget")
+      .flag("fekf-epochs", "8", "FEKF epoch budget")
+      .flag("slack", "1.15", "target = slack * max(best totals)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  Table table({"System", "Adam bs1 epochs", "conv. ratio",
+               "Adam RMSE train/test", "FEKF RMSE train/test"});
+  std::printf("Table 4 reproduction: epochs to matched (E+F) RMSE and "
+              "generalization, Adam bs=1 vs FEKF bs=%lld\n",
+              static_cast<long long>(cli.get_int("batch")));
+
+  for (const std::string& system : split_list(cli.get("systems"))) {
+    RunResult adam = run_adam(system, cli, cli.get_int("adam-epochs"));
+    RunResult fekf = run_fekf(system, cli, cli.get_int("batch"),
+                              cli.get_int("fekf-epochs"));
+    // Common target both runs can reach: the worse of the two best totals.
+    const f64 target = cli.get_double("slack") *
+                       std::max(adam.best_total(), fekf.best_total());
+    const i64 ea = adam.epochs_to(target);
+    const i64 ef = fekf.epochs_to(target);
+    std::string ratio = "-";
+    if (ea > 0 && ef > 0) {
+      ratio = fmt("%.3f", static_cast<f64>(ef) / static_cast<f64>(ea));
+    }
+    const auto rmse_pair = [](const RunResult& r) {
+      const train::EpochRecord& rec = r.best_epoch();
+      return Table::num(rec.train.total()) + " / " +
+             Table::num(rec.test.total());
+    };
+    table.add_row({system, ea > 0 ? std::to_string(ea) : "-", ratio,
+                   rmse_pair(adam), rmse_pair(fekf)});
+    std::printf("  %-5s done (target %.4f, Adam %lld ep, FEKF %lld ep)\n",
+                system.c_str(), target, static_cast<long long>(ea),
+                static_cast<long long>(ef));
+  }
+  table.print();
+  std::printf(
+      "\nPaper shape: convergence ratio well below 1 (0.07-0.23 at paper "
+      "scale) and train/test RMSE close for FEKF (no generalization gap).\n");
+  return 0;
+}

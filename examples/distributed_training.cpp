@@ -1,0 +1,79 @@
+// Distributed FEKF on the virtual cluster: shard a global mini-batch over
+// simulated ranks, reduce gradients with modeled ring allreduce, and watch
+// the per-step wall clock drop while the communication stays gradient-only
+// (the §3.3 communication-avoidance property).
+#include <cstdio>
+
+#include "core/cli.hpp"
+#include "core/table.hpp"
+#include "data/dataset.hpp"
+#include "dist/cluster.hpp"
+
+using namespace fekf;
+
+int main(int argc, char** argv) {
+  Cli cli("distributed_training",
+          "virtual-cluster data-parallel FEKF demo");
+  cli.flag("system", "NaCl", "catalog system")
+      .flag("train", "48", "training snapshots")
+      .flag("batch", "16", "global batch size")
+      .flag("epochs", "3", "epochs per configuration")
+      .flag("ranks", "1,2,4,8", "rank ladder");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const data::SystemSpec& spec = data::get_system(cli.get("system"));
+  data::DatasetConfig dcfg;
+  dcfg.train_per_temperature = std::max<i64>(
+      1, cli.get_int("train") / static_cast<i64>(spec.temperatures.size()));
+  dcfg.test_per_temperature = 1;
+
+  deepmd::ModelConfig mcfg;
+  mcfg.embed_width = 10;
+  mcfg.axis_neurons = 5;
+  mcfg.fitting_width = 20;
+
+  Table table({"ranks", "sim. wall time (s)", "compute (s)", "comm (s)",
+               "final E-RMSE", "final F-RMSE", "grad MB moved"});
+
+  std::string ranks_csv = cli.get("ranks");
+  std::size_t pos = 0;
+  while (pos <= ranks_csv.size()) {
+    const std::size_t comma = ranks_csv.find(',', pos);
+    const std::string tok = ranks_csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? ranks_csv.size() + 1 : comma + 1;
+    if (tok.empty()) continue;
+    const i64 ranks = std::stoll(tok);
+
+    // Fresh model per configuration so every ladder rung starts identical.
+    data::Dataset ds = data::build_dataset(spec, dcfg);
+    deepmd::DeepmdModel model(mcfg, spec.num_types());
+    model.fit_stats(ds.train);
+    auto train_envs = train::prepare_all(model, ds.train);
+
+    dist::DistributedConfig cfg;
+    cfg.ranks = ranks;
+    cfg.options.batch_size = cli.get_int("batch");
+    cfg.options.max_epochs = cli.get_int("epochs");
+    cfg.options.eval_max_samples = 12;
+    cfg.kalman.blocksize = 2048;
+    std::printf("running %lld rank(s)...\n", static_cast<long long>(ranks));
+    dist::DistributedResult r =
+        dist::train_fekf_distributed(model, train_envs, {}, cfg);
+
+    table.add_row({std::to_string(ranks),
+                   Table::num(r.simulated_seconds, 1),
+                   Table::num(r.compute_seconds, 1),
+                   Table::num(r.comm.comm_seconds, 4),
+                   Table::num(r.train.final_train.energy_rmse),
+                   Table::num(r.train.final_train.force_rmse),
+                   Table::num(static_cast<f64>(r.comm.gradient_bytes) / 1e6,
+                              2)});
+  }
+  table.print();
+  std::printf("\nCompute shrinks ~linearly with ranks while the allreduce "
+              "stays tiny: FEKF ships only the reduced gradient — the "
+              "covariance P is bit-identical on every rank and is never "
+              "communicated.\n");
+  return 0;
+}

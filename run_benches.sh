@@ -1,0 +1,21 @@
+#!/bin/bash
+# Regenerate every paper table/figure into stdout (tee to bench_output.txt).
+# Budgets are sized for a single CPU core (~30-40 min total); every harness
+# accepts flags to scale toward the paper's configuration (--help).
+set -u
+run() {
+  echo "===================================================================="
+  echo "== $*"
+  echo "===================================================================="
+  "$@" 2>&1
+  echo
+}
+run ./build/bench/bench_comm_memory
+run ./build/bench/bench_fig7bc_kernels
+run ./build/bench/bench_kernels_micro --benchmark_min_time=0.1
+run ./build/bench/bench_fig4_qlr
+run ./build/bench/bench_table5_distributed --train 40 --rlekf-epochs 3 --fekf-epochs 8
+run ./build/bench/bench_fig7a_end2end --systems Cu --fekf-epochs 8 --rlekf-epochs 3 --adam-epochs 10
+run ./build/bench/bench_table1_adam_batch --train 48 --epochs1 10
+run ./build/bench/bench_table4_convergence --train 32 --adam-epochs 8 --fekf-epochs 5
+run ./build/bench/bench_ablation_stabilizers --train 40 --epochs 6

@@ -1,0 +1,55 @@
+// Tiny command-line flag parser used by the bench harnesses and examples.
+//
+// Supports "--name value" and "--name=value" forms plus boolean switches.
+// Unknown flags are an error (catches typos in experiment scripts).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace fekf {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Register a flag with a default value and help text. Returns *this so
+  /// registrations chain.
+  Cli& flag(const std::string& name, const std::string& default_value,
+            const std::string& help);
+
+  /// Parse argv. On "--help" prints usage and returns false (caller should
+  /// exit 0). Throws Error on unknown flags or missing values.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  i64 get_int(const std::string& name) const;
+  f64 get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// True if the user supplied the flag explicitly (vs. default).
+  bool provided(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+
+  const Flag& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace fekf

@@ -1,0 +1,58 @@
+// Core definitions shared by every fekf module: fixed-width aliases,
+// the library exception type, and runtime check macros.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace fekf {
+
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using f32 = float;
+using f64 = double;
+
+/// Exception thrown by all fekf runtime checks. Carries the failing
+/// source location so harnesses can print actionable diagnostics.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what,
+                 std::source_location loc = std::source_location::current())
+      : std::runtime_error(format(what, loc)) {}
+
+ private:
+  static std::string format(const std::string& what,
+                            const std::source_location& loc) {
+    return std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+           ": " + what;
+  }
+};
+
+[[noreturn]] inline void fail(const std::string& msg,
+                              std::source_location loc =
+                                  std::source_location::current()) {
+  throw Error(msg, loc);
+}
+
+}  // namespace fekf
+
+/// Runtime invariant check; active in all build types. Use for conditions
+/// that depend on user input or cross-module contracts.
+#define FEKF_CHECK(cond, msg)                     \
+  do {                                            \
+    if (!(cond)) {                                \
+      ::fekf::fail(std::string("check failed: " #cond " — ") + (msg)); \
+    }                                             \
+  } while (0)
+
+/// Cheap internal consistency check; compiled out in NDEBUG hot paths
+/// where the condition is on a per-element loop.
+#ifdef NDEBUG
+#define FEKF_DCHECK(cond, msg) ((void)0)
+#else
+#define FEKF_DCHECK(cond, msg) FEKF_CHECK(cond, msg)
+#endif

@@ -1,0 +1,53 @@
+// Minimal leveled logger. Benchmarks and examples print their primary output
+// through the Table facility; the logger is for progress and diagnostics.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "core/common.hpp"
+
+namespace fekf {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level. Messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line ("[level] message\n") to stderr, thread-safe.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace fekf
+
+#define FEKF_LOG(level)                                      \
+  if (static_cast<int>(level) < static_cast<int>(::fekf::log_level())) { \
+  } else                                                     \
+    ::fekf::detail::LogStream(level)
+
+#define FEKF_INFO FEKF_LOG(::fekf::LogLevel::kInfo)
+#define FEKF_WARN FEKF_LOG(::fekf::LogLevel::kWarn)
+#define FEKF_DEBUG FEKF_LOG(::fekf::LogLevel::kDebug)
+#define FEKF_ERROR FEKF_LOG(::fekf::LogLevel::kError)

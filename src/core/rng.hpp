@@ -1,0 +1,134 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Training reproducibility matters for the convergence experiments (Tables 1
+// and 4 compare epoch counts across optimizers), so every stochastic choice
+// in the library — MD thermostats, weight init, batch shuffling, force-group
+// selection — draws from an explicitly seeded Rng instance. No global state.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "core/common.hpp"
+
+namespace fekf {
+
+/// SplitMix64: used to expand a single user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(u64 seed) : state_(seed) {}
+
+  u64 next() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// xoshiro256** — the workhorse generator. Satisfies the bare minimum of
+/// UniformRandomBitGenerator so it can also feed <random> adaptors in tests.
+class Rng {
+ public:
+  using result_type = u64;
+
+  explicit Rng(u64 seed = 0x5eedULL) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+    have_gauss_ = false;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~u64{0}; }
+
+  u64 operator()() { return next(); }
+
+  u64 next() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  f64 uniform() { return static_cast<f64>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  f64 uniform(f64 lo, f64 hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  u64 uniform_index(u64 n) {
+    FEKF_DCHECK(n > 0, "uniform_index needs n > 0");
+    // Lemire's multiply-shift rejection method (unbiased).
+    u64 x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    u64 l = static_cast<u64>(m);
+    if (l < n) {
+      const u64 t = (~n + 1) % n;
+      while (l < t) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<u64>(m);
+      }
+    }
+    return static_cast<u64>(m >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  f64 gaussian() {
+    if (have_gauss_) {
+      have_gauss_ = false;
+      return cached_gauss_;
+    }
+    f64 u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const f64 f = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gauss_ = v * f;
+    have_gauss_ = true;
+    return u * f;
+  }
+
+  f64 gaussian(f64 mean, f64 stddev) { return mean + stddev * gaussian(); }
+
+  /// Derive an independent child stream (for per-rank / per-worker use).
+  Rng split() {
+    Rng child(0);
+    SplitMix64 sm(next() ^ 0xa02bdbf7bb3c0a7ULL);
+    for (auto& s : child.state_) s = sm.next();
+    return child;
+  }
+
+  /// Fisher-Yates shuffle of an index-addressable container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    const u64 n = static_cast<u64>(c.size());
+    for (u64 i = n; i > 1; --i) {
+      const u64 j = uniform_index(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<u64, 4> state_{};
+  bool have_gauss_ = false;
+  f64 cached_gauss_ = 0.0;
+};
+
+}  // namespace fekf

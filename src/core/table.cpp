@@ -1,0 +1,52 @@
+#include "core/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fekf {
+
+void Table::add_row(std::vector<std::string> row) {
+  FEKF_CHECK(row.size() == header_.size(),
+             "row width " + std::to_string(row.size()) + " != header width " +
+                 std::to_string(header_.size()));
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(f64 v, int precision) {
+  char buf[64];
+  if (std::abs(v) >= 1e5 || (v != 0.0 && std::abs(v) < 1e-4)) {
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  }
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = emit(header_);
+  std::string sep = "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    sep += std::string(width[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += emit(row);
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace fekf

@@ -1,0 +1,32 @@
+// ASCII table printer. The bench harnesses print the paper's tables/figure
+// series through this so EXPERIMENTS.md can quote output verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace fekf {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: stringify a mixed row (numbers formatted compactly).
+  static std::string num(f64 v, int precision = 4);
+
+  /// Render with column alignment and a separator under the header.
+  std::string render() const;
+
+  /// Render directly to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fekf

@@ -1,0 +1,68 @@
+// Wall-clock stopwatch used by the training loops and benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+#include "core/common.hpp"
+
+namespace fekf {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  f64 seconds() const {
+    return std::chrono::duration<f64>(clock::now() - start_).count();
+  }
+
+  f64 milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulating timer: sums durations over many start/stop windows.
+/// Used to split iteration time into forward / gradient / KF-update parts
+/// (Figure 7c).
+class AccumTimer {
+ public:
+  void start() { watch_.reset(); running_ = true; }
+
+  void stop() {
+    if (running_) {
+      total_ += watch_.seconds();
+      ++count_;
+      running_ = false;
+    }
+  }
+
+  void reset() { total_ = 0.0; count_ = 0; running_ = false; }
+
+  f64 total_seconds() const { return total_; }
+  i64 count() const { return count_; }
+  f64 mean_seconds() const { return count_ > 0 ? total_ / static_cast<f64>(count_) : 0.0; }
+
+ private:
+  Stopwatch watch_;
+  f64 total_ = 0.0;
+  i64 count_ = 0;
+  bool running_ = false;
+};
+
+/// RAII window on an AccumTimer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(AccumTimer& t) : timer_(t) { timer_.start(); }
+  ~ScopedTimer() { timer_.stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  AccumTimer& timer_;
+};
+
+}  // namespace fekf

@@ -1,0 +1,76 @@
+#include "data/dataset.hpp"
+
+namespace fekf::data {
+
+Dataset build_dataset(const SystemSpec& spec, const DatasetConfig& config) {
+  FEKF_CHECK(config.train_per_temperature > 0, "need training snapshots");
+  Rng rng(config.seed);
+  md::Structure structure = spec.make_structure(rng);
+  auto potential = spec.make_potential(structure);
+
+  md::SamplerConfig sampler;
+  sampler.dt_fs = spec.dt_fs;
+  sampler.temperatures = spec.temperatures;
+  sampler.equilibration_steps = config.equilibration_steps;
+  sampler.stride = config.stride;
+  sampler.snapshots_per_temperature =
+      config.train_per_temperature + config.test_per_temperature;
+
+  std::vector<md::Snapshot> all = md::sample_trajectory(
+      *potential, structure, spec.masses, sampler, rng);
+
+  // Interleave: within each temperature's block, the trailing snapshots go
+  // to the test split (most decorrelated from training ones).
+  Dataset ds;
+  const i64 per_temp = sampler.snapshots_per_temperature;
+  for (std::size_t t = 0; t < spec.temperatures.size(); ++t) {
+    const i64 base = static_cast<i64>(t) * per_temp;
+    for (i64 s = 0; s < per_temp; ++s) {
+      md::Snapshot& snap = all[static_cast<std::size_t>(base + s)];
+      if (s < config.train_per_temperature) {
+        ds.train.push_back(std::move(snap));
+      } else {
+        ds.test.push_back(std::move(snap));
+      }
+    }
+  }
+  return ds;
+}
+
+BatchSampler::BatchSampler(i64 dataset_size, i64 batch_size, u64 seed)
+    : batch_size_(batch_size), rng_(seed) {
+  FEKF_CHECK(dataset_size > 0, "empty dataset");
+  FEKF_CHECK(batch_size > 0, "batch size must be positive");
+  order_.resize(static_cast<std::size_t>(dataset_size));
+  for (i64 i = 0; i < dataset_size; ++i) {
+    order_[static_cast<std::size_t>(i)] = i;
+  }
+  reshuffle();
+}
+
+void BatchSampler::reshuffle() {
+  rng_.shuffle(order_);
+  cursor_ = 0;
+}
+
+bool BatchSampler::next(std::vector<i64>& indices) {
+  indices.clear();
+  const i64 n = static_cast<i64>(order_.size());
+  if (cursor_ >= n) {
+    reshuffle();
+    return false;
+  }
+  const i64 end = std::min(cursor_ + batch_size_, n);
+  for (i64 i = cursor_; i < end; ++i) {
+    indices.push_back(order_[static_cast<std::size_t>(i)]);
+  }
+  cursor_ = end;
+  return true;
+}
+
+i64 BatchSampler::batches_per_epoch() const {
+  const i64 n = static_cast<i64>(order_.size());
+  return (n + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace fekf::data

@@ -1,0 +1,61 @@
+// Labelled dataset generation and batching.
+//
+// A Dataset holds train/test snapshot splits sampled from a system's
+// teacher trajectories at the Table 3 temperatures. Sizes are configurable:
+// the paper's datasets have 10k–72k snapshots; the default bench scale is
+// much smaller (convergence-ratio experiments are scale-stable, DESIGN.md §1).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "data/systems.hpp"
+#include "md/sampler.hpp"
+#include "md/system.hpp"
+
+namespace fekf::data {
+
+struct DatasetConfig {
+  i64 train_per_temperature = 64;
+  i64 test_per_temperature = 16;
+  i64 equilibration_steps = 100;
+  i64 stride = 5;  ///< MD steps between snapshots
+  u64 seed = 2024;
+};
+
+struct Dataset {
+  std::vector<md::Snapshot> train;
+  std::vector<md::Snapshot> test;
+
+  i64 natoms() const {
+    return train.empty() ? 0 : train.front().natoms();
+  }
+};
+
+/// Sample a dataset for one catalog system. Train and test snapshots come
+/// from the same trajectories, interleaved deterministically so both splits
+/// cover every temperature.
+Dataset build_dataset(const SystemSpec& spec, const DatasetConfig& config);
+
+/// Shuffled mini-batch index iterator; one pass == one epoch.
+class BatchSampler {
+ public:
+  BatchSampler(i64 dataset_size, i64 batch_size, u64 seed);
+
+  /// Fill `indices` with the next batch. Returns false at epoch end (and
+  /// reshuffles for the next epoch). The final batch of an epoch may be
+  /// short.
+  bool next(std::vector<i64>& indices);
+
+  i64 batches_per_epoch() const;
+
+ private:
+  void reshuffle();
+
+  std::vector<i64> order_;
+  i64 batch_size_;
+  i64 cursor_ = 0;
+  Rng rng_;
+};
+
+}  // namespace fekf::data

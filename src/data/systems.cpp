@@ -1,0 +1,247 @@
+#include "data/systems.hpp"
+
+#include <map>
+#include <numbers>
+
+#include "md/bonded.hpp"
+#include "md/coulomb.hpp"
+#include "md/eam.hpp"
+#include "md/pair.hpp"
+#include "md/sw.hpp"
+
+namespace fekf::data {
+
+namespace {
+
+using md::BondedTerms;
+using md::BornMayer;
+using md::CompositePotential;
+using md::LennardJones;
+using md::Morse;
+using md::Structure;
+using md::SuttonChen;
+using md::StillingerWeber;
+using md::WolfCoulomb;
+
+std::unique_ptr<md::Potential> wrap(std::unique_ptr<md::Potential> p) {
+  return p;
+}
+
+SystemSpec make_cu() {
+  SystemSpec s;
+  s.name = "Cu";
+  s.elements = {"Cu"};
+  s.masses = {63.546};
+  s.temperatures = {400, 500, 600, 700, 800};  // Table 3: 400–800 K
+  s.dt_fs = 2.0;
+  s.paper_snapshots = 72102;
+  s.make_structure = [](Rng&) { return md::make_fcc(3.615, 3, 3, 3); };  // 108
+  s.make_potential = [](const Structure&) {
+    // Sutton–Chen Cu (canonical parameters).
+    return wrap(std::make_unique<SuttonChen>(
+        SuttonChen::Params{0.012382, 3.615, 39.432, 9.0, 6.0}, 6.0));
+  };
+  return s;
+}
+
+SystemSpec make_al() {
+  SystemSpec s;
+  s.name = "Al";
+  s.elements = {"Al"};
+  s.masses = {26.982};
+  s.temperatures = {300, 500, 800, 1000};
+  s.dt_fs = 2.0;
+  s.paper_snapshots = 24457;
+  s.make_structure = [](Rng&) { return md::make_fcc(4.05, 2, 2, 2); };  // 32
+  s.make_potential = [](const Structure&) {
+    // Sutton–Chen Al (canonical parameters).
+    return wrap(std::make_unique<SuttonChen>(
+        SuttonChen::Params{0.033147, 4.05, 16.399, 7.0, 6.0}, 6.5));
+  };
+  return s;
+}
+
+SystemSpec make_si() {
+  SystemSpec s;
+  s.name = "Si";
+  s.elements = {"Si"};
+  s.masses = {28.085};
+  s.temperatures = {300, 500, 800};
+  s.dt_fs = 3.0;
+  s.paper_snapshots = 40000;
+  s.make_structure = [](Rng&) { return md::make_diamond(5.43, 2, 2, 2); };  // 64
+  s.make_potential = [](const Structure&) {
+    return wrap(std::make_unique<StillingerWeber>());
+  };
+  return s;
+}
+
+SystemSpec make_nacl() {
+  SystemSpec s;
+  s.name = "NaCl";
+  s.elements = {"Na", "Cl"};
+  s.masses = {22.990, 35.453};
+  s.temperatures = {300, 500, 800};
+  s.dt_fs = 2.0;
+  s.paper_snapshots = 40000;
+  s.make_structure = [](Rng&) {
+    return md::make_rocksalt(5.64, 2, 2, 2, 0, 1);  // 64 atoms
+  };
+  s.make_potential = [](const Structure&) {
+    // Born–Mayer–Huggins-style short range + damped-shifted Coulomb.
+    auto pot = std::make_unique<CompositePotential>();
+    auto bm = std::make_unique<BornMayer>(2, 6.0);
+    bm->set_pair(0, 1, {1200.0, 0.32, 0.0});
+    bm->set_pair(0, 0, {420.0, 0.32, 1.05});
+    bm->set_pair(1, 1, {3500.0, 0.32, 72.4});
+    pot->add(std::move(bm));
+    pot->add(std::make_unique<WolfCoulomb>(std::vector<f64>{1.0, -1.0}, 6.0));
+    return wrap(std::move(pot));
+  };
+  return s;
+}
+
+SystemSpec make_mg() {
+  SystemSpec s;
+  s.name = "Mg";
+  s.elements = {"Mg"};
+  s.masses = {24.305};
+  s.temperatures = {300, 500, 800};
+  s.dt_fs = 3.0;
+  s.paper_snapshots = 12800;
+  s.make_structure = [](Rng&) {
+    return md::make_hcp(3.21, 5.21, 3, 1, 3);  // 36 atoms
+  };
+  s.make_potential = [](const Structure&) {
+    // Morse metal teacher (plausible Mg scale: cohesive well ~0.25 eV at
+    // the HCP nearest-neighbor distance).
+    auto morse = std::make_unique<Morse>(1, 6.5);
+    morse->set_pair(0, 0, {0.25, 1.2, 3.19});
+    return wrap(std::move(morse));
+  };
+  return s;
+}
+
+SystemSpec make_h2o() {
+  SystemSpec s;
+  s.name = "H2O";
+  s.elements = {"O", "H"};
+  s.masses = {15.999, 1.008};
+  s.temperatures = {300, 500, 800, 1000};
+  s.dt_fs = 0.5;  // flexible bonds need a shorter step than Table 3's 1 fs
+  s.paper_snapshots = 28032;
+  s.make_structure = [](Rng& rng) {
+    return md::make_water_box(3.15, 2, 2, 4, rng);  // 16 molecules, 48 atoms
+  };
+  s.make_potential = [](const Structure& st) {
+    // Flexible SPC-like: harmonic bonds/angles + O-O LJ + DSF Coulomb with
+    // intramolecular exclusions.
+    const i64 nmol = st.natoms() / 3;
+    std::vector<md::Bond> bonds;
+    std::vector<md::Angle> angles;
+    std::vector<i32> mols(static_cast<std::size_t>(st.natoms()));
+    for (i64 m = 0; m < nmol; ++m) {
+      const i32 o = static_cast<i32>(3 * m);
+      bonds.push_back({o, o + 1, 20.0, 0.9572});
+      bonds.push_back({o, o + 2, 20.0, 0.9572});
+      angles.push_back(
+          {o + 1, o, o + 2, 3.29, 104.52 * std::numbers::pi / 180.0});
+      mols[static_cast<std::size_t>(o)] =
+          mols[static_cast<std::size_t>(o + 1)] =
+              mols[static_cast<std::size_t>(o + 2)] = static_cast<i32>(m);
+    }
+    auto pot = std::make_unique<CompositePotential>();
+    pot->add(std::make_unique<BondedTerms>(std::move(bonds), std::move(angles)));
+    auto lj = std::make_unique<LennardJones>(2, 6.0);
+    lj->set_pair(0, 0, {0.00674, 3.166});
+    lj->set_molecules(mols);
+    pot->add(std::move(lj));
+    auto coul =
+        std::make_unique<WolfCoulomb>(std::vector<f64>{-0.82, 0.41}, 6.0);
+    coul->set_molecules(mols);
+    pot->add(std::move(coul));
+    return wrap(std::move(pot));
+  };
+  return s;
+}
+
+SystemSpec make_cuo() {
+  SystemSpec s;
+  s.name = "CuO";
+  s.elements = {"Cu", "O"};
+  s.masses = {63.546, 15.999};
+  s.temperatures = {300, 500, 800};
+  s.dt_fs = 3.0;
+  s.paper_snapshots = 10281;
+  s.make_structure = [](Rng&) {
+    return md::make_rocksalt(4.26, 2, 2, 2, 0, 1);  // 64 atoms
+  };
+  s.make_potential = [](const Structure&) {
+    auto pot = std::make_unique<CompositePotential>();
+    auto morse = std::make_unique<Morse>(2, 6.0);
+    morse->set_pair(0, 1, {0.9, 1.8, 2.0});
+    morse->set_pair(0, 0, {0.15, 1.3, 2.9});
+    morse->set_pair(1, 1, {0.05, 1.5, 3.0});
+    pot->add(std::move(morse));
+    pot->add(std::make_unique<WolfCoulomb>(std::vector<f64>{1.0, -1.0}, 6.0));
+    return wrap(std::move(pot));
+  };
+  return s;
+}
+
+SystemSpec make_hfo2() {
+  SystemSpec s;
+  s.name = "HfO2";
+  s.elements = {"Hf", "O"};
+  s.masses = {178.486, 15.999};
+  // Table 3 lists "-200–2400"; we span a wide positive range.
+  s.temperatures = {100, 800, 1600, 2400};
+  s.dt_fs = 1.0;
+  s.paper_snapshots = 28577;
+  s.make_structure = [](Rng&) {
+    return md::make_fluorite(5.08, 2, 2, 2, 0, 1);  // 96 atoms (paper: 98)
+  };
+  s.make_potential = [](const Structure&) {
+    auto pot = std::make_unique<CompositePotential>();
+    auto morse = std::make_unique<Morse>(2, 6.0);
+    morse->set_pair(0, 1, {1.2, 1.7, 2.2});
+    pot->add(std::move(morse));
+    auto bm = std::make_unique<BornMayer>(2, 6.0);
+    bm->set_pair(1, 1, {1500.0, 0.30, 30.0});
+    bm->set_pair(0, 0, {800.0, 0.32, 0.0});
+    pot->add(std::move(bm));
+    pot->add(std::make_unique<WolfCoulomb>(std::vector<f64>{2.0, -1.0}, 6.0));
+    return wrap(std::move(pot));
+  };
+  return s;
+}
+
+std::map<std::string, SystemSpec> build_catalog() {
+  std::map<std::string, SystemSpec> m;
+  for (SystemSpec s : {make_cu(), make_al(), make_si(), make_nacl(),
+                       make_mg(), make_h2o(), make_cuo(), make_hfo2()}) {
+    m.emplace(s.name, std::move(s));
+  }
+  return m;
+}
+
+const std::map<std::string, SystemSpec>& catalog() {
+  static const std::map<std::string, SystemSpec> m = build_catalog();
+  return m;
+}
+
+}  // namespace
+
+const std::vector<std::string>& system_names() {
+  static const std::vector<std::string> names = {
+      "Cu", "Al", "Si", "NaCl", "Mg", "H2O", "CuO", "HfO2"};
+  return names;
+}
+
+const SystemSpec& get_system(const std::string& name) {
+  auto it = catalog().find(name);
+  FEKF_CHECK(it != catalog().end(), "unknown system '" + name + "'");
+  return it->second;
+}
+
+}  // namespace fekf::data

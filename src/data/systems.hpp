@@ -1,0 +1,43 @@
+// Catalog of the paper's eight physical systems (Table 3).
+//
+// Each entry carries the composition, the Table 3 sampling temperatures and
+// time step, and factories for the initial structure and the teacher
+// potential that substitutes for the paper's DFT labelling (DESIGN.md §1).
+// Teacher parameters are physically plausible but synthetic — the
+// experiments measure optimizer behaviour, not materials properties.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "md/lattice.hpp"
+#include "md/potential.hpp"
+
+namespace fekf::data {
+
+struct SystemSpec {
+  std::string name;
+  std::vector<std::string> elements;  ///< element symbol per type index
+  std::vector<f64> masses;            ///< amu per type
+  std::vector<f64> temperatures;      ///< sampling temperatures (K), Table 3
+  f64 dt_fs = 1.0;                    ///< MD time step (fs), Table 3
+  i64 paper_snapshots = 0;            ///< dataset size reported in Table 3
+
+  std::function<md::Structure(Rng&)> make_structure;
+  std::function<std::unique_ptr<md::Potential>(const md::Structure&)>
+      make_potential;
+
+  i32 num_types() const { return static_cast<i32>(elements.size()); }
+};
+
+/// The eight Table 3 names in paper order:
+/// Cu, Al, Si, NaCl, Mg, H2O, CuO, HfO2.
+const std::vector<std::string>& system_names();
+
+/// Look up a catalog entry; throws on unknown names.
+const SystemSpec& get_system(const std::string& name);
+
+}  // namespace fekf::data

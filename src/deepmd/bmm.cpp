@@ -1,0 +1,172 @@
+#include "deepmd/bmm.hpp"
+
+#include <cstring>
+
+#include "tensor/kernel_counter.hpp"
+
+namespace fekf::deepmd {
+
+using ag::Variable;
+
+namespace {
+
+i64 block_count(const Tensor& t, i64 block, const char* who) {
+  FEKF_CHECK(block > 0 && t.rows() % block == 0,
+             std::string(who) + ": rows " + std::to_string(t.rows()) +
+                 " not divisible by block " + std::to_string(block));
+  return t.rows() / block;
+}
+
+Tensor bmm_nn_kernel(const Tensor& x, const Tensor& y, i64 p) {
+  const i64 nb = block_count(x, p, "bmm_nn");
+  const i64 q = x.cols();
+  FEKF_CHECK(y.rows() == nb * q, "bmm_nn: y rows mismatch");
+  const i64 s = y.cols();
+  KernelCounter::record("bmm_nn");
+  Tensor out = Tensor::zeros(nb * p, s);
+  const f32* __restrict__ px = x.data();
+  const f32* __restrict__ py = y.data();
+  f32* __restrict__ po = out.data();
+  for (i64 b = 0; b < nb; ++b) {
+    const f32* xb = px + b * p * q;
+    const f32* yb = py + b * q * s;
+    f32* ob = po + b * p * s;
+    for (i64 i = 0; i < p; ++i) {
+      for (i64 l = 0; l < q; ++l) {
+        const f32 xv = xb[i * q + l];
+        for (i64 j = 0; j < s; ++j) ob[i * s + j] += xv * yb[l * s + j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor bmm_tn_kernel(const Tensor& x, const Tensor& y, i64 q) {
+  const i64 nb = block_count(x, q, "bmm_tn");
+  FEKF_CHECK(y.rows() == nb * q, "bmm_tn: y rows mismatch");
+  const i64 p = x.cols();
+  const i64 s = y.cols();
+  KernelCounter::record("bmm_tn");
+  Tensor out = Tensor::zeros(nb * p, s);
+  const f32* __restrict__ px = x.data();
+  const f32* __restrict__ py = y.data();
+  f32* __restrict__ po = out.data();
+  for (i64 b = 0; b < nb; ++b) {
+    const f32* xb = px + b * q * p;
+    const f32* yb = py + b * q * s;
+    f32* ob = po + b * p * s;
+    for (i64 l = 0; l < q; ++l) {
+      const f32* xrow = xb + l * p;
+      const f32* yrow = yb + l * s;
+      for (i64 i = 0; i < p; ++i) {
+        const f32 xv = xrow[i];
+        for (i64 j = 0; j < s; ++j) ob[i * s + j] += xv * yrow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor bmm_nt_kernel(const Tensor& x, const Tensor& y, i64 p, i64 s) {
+  const i64 nb = block_count(x, p, "bmm_nt");
+  FEKF_CHECK(y.rows() == nb * s, "bmm_nt: y rows mismatch");
+  const i64 q = x.cols();
+  FEKF_CHECK(y.cols() == q, "bmm_nt: inner dim mismatch");
+  KernelCounter::record("bmm_nt");
+  Tensor out(nb * p, s);
+  const f32* __restrict__ px = x.data();
+  const f32* __restrict__ py = y.data();
+  f32* __restrict__ po = out.data();
+  for (i64 b = 0; b < nb; ++b) {
+    const f32* xb = px + b * p * q;
+    const f32* yb = py + b * s * q;
+    f32* ob = po + b * p * s;
+    for (i64 i = 0; i < p; ++i) {
+      for (i64 j = 0; j < s; ++j) {
+        f64 acc = 0.0;
+        for (i64 l = 0; l < q; ++l) {
+          acc += static_cast<f64>(xb[i * q + l]) * yb[j * q + l];
+        }
+        ob[i * s + j] = static_cast<f32>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor block_slice_kernel(const Tensor& x, i64 block, i64 r0, i64 r1) {
+  const i64 nb = block_count(x, block, "block_slice_rows");
+  FEKF_CHECK(0 <= r0 && r0 <= r1 && r1 <= block, "block_slice_rows bounds");
+  const i64 h = r1 - r0;
+  const i64 c = x.cols();
+  KernelCounter::record("block_slice_rows");
+  Tensor out(nb * h, c);
+  for (i64 b = 0; b < nb; ++b) {
+    std::memcpy(out.data() + b * h * c, x.data() + (b * block + r0) * c,
+                static_cast<std::size_t>(h * c) * sizeof(f32));
+  }
+  return out;
+}
+
+Tensor block_pad_kernel(const Tensor& x, i64 block, i64 h, i64 r0) {
+  const i64 nb = block_count(x, h, "block_pad_rows");
+  FEKF_CHECK(r0 >= 0 && r0 + h <= block, "block_pad_rows bounds");
+  const i64 c = x.cols();
+  KernelCounter::record("block_pad_rows");
+  Tensor out = Tensor::zeros(nb * block, c);
+  for (i64 b = 0; b < nb; ++b) {
+    std::memcpy(out.data() + (b * block + r0) * c, x.data() + b * h * c,
+                static_cast<std::size_t>(h * c) * sizeof(f32));
+  }
+  return out;
+}
+
+}  // namespace
+
+Variable bmm_nn(const Variable& x, const Variable& y, i64 p) {
+  const i64 q = x.cols();
+  return Variable::make_op(
+      bmm_nn_kernel(x.value(), y.value(), p), "bmm_nn", {x, y},
+      [x, y, p, q](const Variable& g) -> std::vector<Variable> {
+        // out_b = X_b Y_b: gX_b = g_b Y_b^T, gY_b = X_b^T g_b.
+        return {bmm_nt(g, y, p, q), bmm_tn(x, g, p)};
+      });
+}
+
+Variable bmm_tn(const Variable& x, const Variable& y, i64 q) {
+  const i64 p = x.cols();
+  return Variable::make_op(
+      bmm_tn_kernel(x.value(), y.value(), q), "bmm_tn", {x, y},
+      [x, y, p, q](const Variable& g) -> std::vector<Variable> {
+        // out_b = X_b^T Y_b: gX_b = Y_b g_b^T, gY_b = X_b g_b.
+        return {bmm_nt(y, g, q, p), bmm_nn(x, g, q)};
+      });
+}
+
+Variable bmm_nt(const Variable& x, const Variable& y, i64 p, i64 s) {
+  return Variable::make_op(
+      bmm_nt_kernel(x.value(), y.value(), p, s), "bmm_nt", {x, y},
+      [x, y, p, s](const Variable& g) -> std::vector<Variable> {
+        // out_b = X_b Y_b^T: gX_b = g_b Y_b, gY_b = g_b^T X_b.
+        (void)s;
+        return {bmm_nn(g, y, p), bmm_tn(g, x, p)};
+      });
+}
+
+Variable block_slice_rows(const Variable& x, i64 block, i64 r0, i64 r1) {
+  return Variable::make_op(
+      block_slice_kernel(x.value(), block, r0, r1), "block_slice_rows", {x},
+      [block, r0, r1](const Variable& g) -> std::vector<Variable> {
+        return {block_pad_rows(g, block, r1 - r0, r0)};
+      });
+}
+
+Variable block_pad_rows(const Variable& x, i64 block, i64 h, i64 r0) {
+  return Variable::make_op(
+      block_pad_kernel(x.value(), block, h, r0), "block_pad_rows", {x},
+      [block, h, r0](const Variable& g) -> std::vector<Variable> {
+        return {block_slice_rows(g, block, r0, r0 + h)};
+      });
+}
+
+}  // namespace fekf::deepmd

@@ -1,0 +1,40 @@
+// Fused per-atom (batched-block) matrix ops.
+//
+// The symmetry-preserving descriptor D_i = G_i^T R_i R_i^T G_i^< is a
+// per-atom contraction. A framework autograd executes it as natoms
+// separate slice + matmul launches ("a lot of fragmented kernels", §3.4);
+// the paper's opt1 replaces this with hand-written batched kernels whose
+// derivatives follow Eq. 4 / Fig. 6. These ops are those kernels: each
+// call is ONE KernelCounter launch over all atoms, and each backward is
+// again composed of bmm_* calls — so the force path (which differentiates
+// the backward graph) stays fused to every derivative order.
+//
+// Block conventions: a tensor of shape (nblocks*p) x q is `nblocks`
+// stacked p x q blocks; all ops require an integer block count.
+#pragma once
+
+#include "autograd/variable.hpp"
+
+namespace fekf::deepmd {
+
+/// Per-block X_b (p x q) * Y_b (q x s) -> (p x s). `p` is X's block height.
+ag::Variable bmm_nn(const ag::Variable& x, const ag::Variable& y, i64 p);
+
+/// Per-block X_b^T (p x q -> q used as block height) : X_b is (q x p),
+/// Y_b is (q x s) -> X_b^T Y_b (p x s). `q` is the shared block height.
+ag::Variable bmm_tn(const ag::Variable& x, const ag::Variable& y, i64 q);
+
+/// Per-block X_b (p x q) * Y_b^T with Y_b (s x q) -> (p x s).
+ag::Variable bmm_nt(const ag::Variable& x, const ag::Variable& y, i64 p,
+                    i64 s);
+
+/// Rows [r0, r1) of every block (block height `block`) -> blocks of height
+/// r1-r0. One launch; backward is block_pad_rows.
+ag::Variable block_slice_rows(const ag::Variable& x, i64 block, i64 r0,
+                              i64 r1);
+
+/// Inverse: place blocks of height h into zero blocks of height `block` at
+/// offset r0.
+ag::Variable block_pad_rows(const ag::Variable& x, i64 block, i64 h, i64 r0);
+
+}  // namespace fekf::deepmd

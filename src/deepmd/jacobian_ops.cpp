@@ -1,0 +1,84 @@
+#include "deepmd/jacobian_ops.hpp"
+
+#include "tensor/kernel_counter.hpp"
+
+namespace fekf::deepmd {
+
+using ag::Variable;
+
+namespace {
+
+/// F[neighbor] -= J^T g_row; F[center] += J^T g_row  (signs fold in
+/// F = -dE/dr with dE/dr_neighbor = +J^T g_row).
+Tensor jacobian_force_kernel(const Tensor& grad_r, const EnvData& env,
+                             i32 type) {
+  FEKF_CHECK(grad_r.rows() == env.natoms * env.sel[static_cast<std::size_t>(type)] &&
+                 grad_r.cols() == 4,
+             "jacobian_force: grad_r shape mismatch");
+  KernelCounter::record("jacobian_force");
+  Tensor out = Tensor::zeros(env.natoms, 3);
+  const f32* __restrict__ pg = grad_r.data();
+  f32* __restrict__ po = out.data();
+  for (const SlotJacobian& sj : env.jacobians[static_cast<std::size_t>(type)]) {
+    const f32* g = pg + static_cast<i64>(sj.row) * 4;
+    for (int k = 0; k < 3; ++k) {
+      f64 acc = 0.0;
+      for (int c = 0; c < 4; ++c) {
+        acc += sj.j[static_cast<std::size_t>(3 * c + k)] * g[c];
+      }
+      po[static_cast<i64>(sj.neighbor) * 3 + k] -= static_cast<f32>(acc);
+      po[static_cast<i64>(sj.center) * 3 + k] += static_cast<f32>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor jacobian_transpose_kernel(const Tensor& f_cot, const EnvData& env,
+                                 i32 type) {
+  FEKF_CHECK(f_cot.rows() == env.natoms && f_cot.cols() == 3,
+             "jacobian_force_transpose: cotangent shape mismatch");
+  KernelCounter::record("jacobian_force_transpose");
+  Tensor out = Tensor::zeros(
+      env.natoms * env.sel[static_cast<std::size_t>(type)], 4);
+  const f32* __restrict__ pf = f_cot.data();
+  f32* __restrict__ po = out.data();
+  for (const SlotJacobian& sj : env.jacobians[static_cast<std::size_t>(type)]) {
+    const f32* fn = pf + static_cast<i64>(sj.neighbor) * 3;
+    const f32* fc = pf + static_cast<i64>(sj.center) * 3;
+    f32* g = po + static_cast<i64>(sj.row) * 4;
+    for (int c = 0; c < 4; ++c) {
+      f64 acc = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        acc += sj.j[static_cast<std::size_t>(3 * c + k)] *
+               (static_cast<f64>(fc[k]) - fn[k]);
+      }
+      g[c] += static_cast<f32>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Variable jacobian_force(const Variable& grad_r,
+                        std::shared_ptr<const EnvData> env, i32 type) {
+  return Variable::make_op(
+      jacobian_force_kernel(grad_r.value(), *env, type), "jacobian_force",
+      {grad_r},
+      [env, type](const Variable& g) -> std::vector<Variable> {
+        return {jacobian_force_transpose(g, env, type)};
+      });
+}
+
+Variable jacobian_force_transpose(const Variable& f_cotangent,
+                                  std::shared_ptr<const EnvData> env,
+                                  i32 type) {
+  return Variable::make_op(
+      jacobian_transpose_kernel(f_cotangent.value(), *env, type),
+      "jacobian_force_transpose", {f_cotangent},
+      [env, type](const Variable& g) -> std::vector<Variable> {
+        return {jacobian_force(g, env, type)};
+      });
+}
+
+}  // namespace fekf::deepmd

@@ -1,0 +1,31 @@
+// Differentiable application of the environment-matrix Jacobian.
+//
+// Forces are F = -dE/dr = -J^T (dE/dR~) where J = dR~/dr is pure geometry
+// (precomputed in EnvData). jacobian_force applies -J^T as a single fused
+// kernel; because the map is linear with constant coefficients, its
+// backward is the transposed map (another fused kernel) and the pair is
+// mutually differentiable to any order — which is what lets the EKF force
+// measurement (and the Adam force loss) be differentiated w.r.t. weights.
+#pragma once
+
+#include <memory>
+
+#include "autograd/variable.hpp"
+#include "deepmd/env.hpp"
+
+namespace fekf::deepmd {
+
+/// grad_r ((natoms*sel[t]) x 4, the dE/dR~ block of neighbor type t)
+/// -> force contribution (natoms x 3, sorted-atom order), including the
+/// minus sign of F = -dE/dr.
+ag::Variable jacobian_force(const ag::Variable& grad_r,
+                            std::shared_ptr<const EnvData> env, i32 type);
+
+/// Transposed map: given a (natoms x 3) cotangent, produce the
+/// ((natoms*sel[t]) x 4) cotangent. Exposed for tests; jacobian_force uses
+/// it as its backward.
+ag::Variable jacobian_force_transpose(const ag::Variable& f_cotangent,
+                                      std::shared_ptr<const EnvData> env,
+                                      i32 type);
+
+}  // namespace fekf::deepmd

@@ -1,0 +1,30 @@
+#include "deepmd/model_potential.hpp"
+
+namespace fekf::deepmd {
+
+f64 ModelPotential::compute(std::span<const md::Vec3> positions,
+                            std::span<const i32> types, const md::Cell& cell,
+                            const md::NeighborList& nl,
+                            std::span<md::Vec3> forces) const {
+  (void)nl;  // the environment matrix builds its own typed neighbor slots
+  FEKF_CHECK(positions.size() == types.size() &&
+                 positions.size() == forces.size(),
+             "array size mismatch");
+  md::Snapshot snap;
+  snap.cell = cell;
+  snap.positions.assign(positions.begin(), positions.end());
+  snap.types.assign(types.begin(), types.end());
+  snap.forces.assign(positions.size(), md::Vec3{});
+
+  auto env = model_.prepare(snap);
+  auto pred = model_.predict(env, /*with_forces=*/true);
+  const Tensor& f = pred.forces.value();
+  for (i64 sorted = 0; sorted < env->natoms; ++sorted) {
+    const i64 orig = env->perm[static_cast<std::size_t>(sorted)];
+    forces[static_cast<std::size_t>(orig)] +=
+        md::Vec3{f.at(sorted, 0), f.at(sorted, 1), f.at(sorted, 2)};
+  }
+  return static_cast<f64>(pred.energy.item());
+}
+
+}  // namespace fekf::deepmd

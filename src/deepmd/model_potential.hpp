@@ -1,0 +1,27 @@
+// Adapter: use a trained DeePMD model as an md::Potential, closing the
+// loop the paper motivates — train a force field in minutes, then run
+// molecular dynamics with it (what DeePMD models exist for).
+#pragma once
+
+#include "deepmd/model.hpp"
+#include "md/potential.hpp"
+
+namespace fekf::deepmd {
+
+class ModelPotential final : public md::Potential {
+ public:
+  /// The model must have fitted statistics. Only a reference is held.
+  explicit ModelPotential(const DeepmdModel& model) : model_(model) {}
+
+  f64 cutoff() const override { return model_.config().rcut; }
+
+  f64 compute(std::span<const md::Vec3> positions,
+              std::span<const i32> types, const md::Cell& cell,
+              const md::NeighborList& nl,
+              std::span<md::Vec3> forces) const override;
+
+ private:
+  const DeepmdModel& model_;
+};
+
+}  // namespace fekf::deepmd

@@ -1,0 +1,70 @@
+// DeePMD sub-networks (paper §2.1):
+//   EmbeddingNet  G = E2 ∘ E1 ∘ E0 (s):  1 -> M, then two residual M -> M
+//                 layers, tanh activations.
+//   FittingNet    E_i = F3 ∘ F2 ∘ F1 ∘ F0 (D_i): MM^< -> d, two residual
+//                 d -> d layers, final linear d -> 1.
+//
+// Every layer registers its parameters with names, which is what the EKF
+// optimizers use to reproduce the paper's layer-wise gather/split blocking
+// (the {1350, 10240, 9760, 5301} layout for the 26 551-parameter network).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autograd/ops.hpp"
+#include "core/rng.hpp"
+#include "deepmd/config.hpp"
+
+namespace fekf::deepmd {
+
+struct LayerParams {
+  ag::Variable weight;  ///< (fan_in x fan_out)
+  ag::Variable bias;    ///< (1 x fan_out)
+  std::string name;
+};
+
+namespace detail {
+
+/// One affine+activation step honoring the fusion level.
+ag::Variable dense(const ag::Variable& x, const LayerParams& layer,
+                   bool activate, FusionLevel fusion);
+
+LayerParams make_layer(i64 fan_in, i64 fan_out, const std::string& name,
+                       Rng& rng, f64 weight_scale = 1.0);
+
+}  // namespace detail
+
+class EmbeddingNet {
+ public:
+  /// Width M, three layers as in the paper's [25, 25, 25].
+  EmbeddingNet(i64 width, const std::string& name, Rng& rng);
+
+  /// (n x 1) radial features -> (n x M).
+  ag::Variable forward(const ag::Variable& s, FusionLevel fusion) const;
+
+  std::vector<LayerParams>& layers() { return layers_; }
+  const std::vector<LayerParams>& layers() const { return layers_; }
+  i64 width() const { return width_; }
+
+ private:
+  i64 width_;
+  std::vector<LayerParams> layers_;
+};
+
+class FittingNet {
+ public:
+  /// Input MM^<, hidden d, as in the paper's [400, 50, 50, 50, 1].
+  FittingNet(i64 input, i64 width, const std::string& name, Rng& rng);
+
+  /// (n x MM^<) descriptors -> (n x 1) atomic energies.
+  ag::Variable forward(const ag::Variable& d, FusionLevel fusion) const;
+
+  std::vector<LayerParams>& layers() { return layers_; }
+  const std::vector<LayerParams>& layers() const { return layers_; }
+
+ private:
+  std::vector<LayerParams> layers_;
+};
+
+}  // namespace fekf::deepmd

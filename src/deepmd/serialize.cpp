@@ -1,0 +1,161 @@
+#include "deepmd/serialize.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+namespace fekf::deepmd {
+
+namespace {
+
+constexpr const char* kMagic = "fekf-deepmd-model-v1";
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_vector(std::FILE* f, const char* name,
+                  const std::vector<f64>& v) {
+  std::fprintf(f, "%s %zu", name, v.size());
+  for (const f64 x : v) std::fprintf(f, " %a", x);
+  std::fprintf(f, "\n");
+}
+
+void write_ivector(std::FILE* f, const char* name,
+                   const std::vector<i64>& v) {
+  std::fprintf(f, "%s %zu", name, v.size());
+  for (const i64 x : v) std::fprintf(f, " %" PRId64, x);
+  std::fprintf(f, "\n");
+}
+
+std::vector<f64> read_vector(std::FILE* f, const char* name) {
+  char key[64];
+  std::size_t n = 0;
+  FEKF_CHECK(std::fscanf(f, "%63s %zu", key, &n) == 2 &&
+                 std::string(key) == name,
+             std::string("expected field '") + name + "'");
+  std::vector<f64> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FEKF_CHECK(std::fscanf(f, "%la", &v[i]) == 1, "truncated vector");
+  }
+  return v;
+}
+
+std::vector<i64> read_ivector(std::FILE* f, const char* name) {
+  char key[64];
+  std::size_t n = 0;
+  FEKF_CHECK(std::fscanf(f, "%63s %zu", key, &n) == 2 &&
+                 std::string(key) == name,
+             std::string("expected field '") + name + "'");
+  std::vector<i64> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FEKF_CHECK(std::fscanf(f, "%" SCNd64, &v[i]) == 1, "truncated vector");
+  }
+  return v;
+}
+
+}  // namespace
+
+void save_model(const DeepmdModel& model, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  FEKF_CHECK(f != nullptr, "cannot open '" + path + "' for writing");
+  const ModelConfig& cfg = model.config();
+  std::fprintf(f.get(), "%s\n", kMagic);
+  std::fprintf(f.get(),
+               "config %d %a %a %" PRId64 " %" PRId64 " %" PRId64 " %d\n",
+               model.num_types(), cfg.rcut, cfg.rcut_smth, cfg.embed_width,
+               cfg.axis_neurons, cfg.fitting_width,
+               static_cast<int>(cfg.fusion));
+  write_ivector(f.get(), "sel", model.sel());
+  const EnvStats& env = model.env_stats();
+  write_vector(f.get(), "davg", env.davg);
+  write_vector(f.get(), "dstd_r", env.dstd_r);
+  write_vector(f.get(), "dstd_a", env.dstd_a);
+  const EnergyStats& es = model.energy_stats();
+  write_vector(f.get(), "bias", es.bias_per_type);
+  std::fprintf(f.get(), "residual_std %a\n", es.residual_std);
+
+  auto params = model.parameters();
+  std::fprintf(f.get(), "params %zu\n", params.size());
+  for (const ag::Variable& p : params) {
+    std::fprintf(f.get(), "%" PRId64 " %" PRId64, p.value().rows(),
+                 p.value().cols());
+    const f32* data = p.value().data();
+    for (i64 i = 0; i < p.numel(); ++i) {
+      std::fprintf(f.get(), " %a", static_cast<f64>(data[i]));
+    }
+    std::fprintf(f.get(), "\n");
+  }
+}
+
+DeepmdModel load_model(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  FEKF_CHECK(f != nullptr, "cannot open '" + path + "' for reading");
+  char magic[64];
+  FEKF_CHECK(std::fscanf(f.get(), "%63s", magic) == 1 &&
+                 std::string(magic) == kMagic,
+             "'" + path + "' is not a fekf model file");
+
+  ModelConfig cfg;
+  int num_types = 0;
+  int fusion = 0;
+  char key[64];
+  FEKF_CHECK(std::fscanf(f.get(),
+                         "%63s %d %la %la %" SCNd64 " %" SCNd64 " %" SCNd64
+                         " %d",
+                         key, &num_types, &cfg.rcut, &cfg.rcut_smth,
+                         &cfg.embed_width, &cfg.axis_neurons,
+                         &cfg.fitting_width, &fusion) == 8 &&
+                 std::string(key) == "config",
+             "bad config line");
+  cfg.fusion = static_cast<FusionLevel>(fusion);
+
+  EnvStats env;
+  std::vector<i64> sel = read_ivector(f.get(), "sel");
+  env.davg = read_vector(f.get(), "davg");
+  env.dstd_r = read_vector(f.get(), "dstd_r");
+  env.dstd_a = read_vector(f.get(), "dstd_a");
+  env.suggested_sel = sel;
+  cfg.sel = sel;
+  EnergyStats es;
+  es.bias_per_type = read_vector(f.get(), "bias");
+  f64 residual = 1.0;
+  FEKF_CHECK(std::fscanf(f.get(), "%63s %la", key, &residual) == 2 &&
+                 std::string(key) == "residual_std",
+             "bad residual_std line");
+  es.residual_std = residual;
+
+  DeepmdModel model(cfg, num_types);
+  model.set_stats(std::move(env), std::move(es));
+
+  std::size_t nparams = 0;
+  FEKF_CHECK(std::fscanf(f.get(), "%63s %zu", key, &nparams) == 2 &&
+                 std::string(key) == "params",
+             "bad params line");
+  auto params = model.parameters();
+  FEKF_CHECK(nparams == params.size(),
+             "parameter count mismatch: file has " + std::to_string(nparams) +
+                 ", architecture has " + std::to_string(params.size()));
+  for (ag::Variable& p : params) {
+    i64 rows = 0, cols = 0;
+    FEKF_CHECK(std::fscanf(f.get(), "%" SCNd64 " %" SCNd64, &rows, &cols) ==
+                   2,
+               "truncated parameter header");
+    FEKF_CHECK(rows == p.value().rows() && cols == p.value().cols(),
+               "parameter shape mismatch");
+    Tensor t(rows, cols);
+    for (i64 i = 0; i < t.numel(); ++i) {
+      f64 v = 0.0;
+      FEKF_CHECK(std::fscanf(f.get(), "%la", &v) == 1,
+                 "truncated parameter data");
+      t.data()[i] = static_cast<f32>(v);
+    }
+    p.set_value(t);
+  }
+  return model;
+}
+
+}  // namespace fekf::deepmd

@@ -1,0 +1,23 @@
+// Model checkpointing: save/restore a trained DeePMD model (architecture,
+// normalization statistics, energy bias, and weights) to a portable text
+// file. Used by the online-learning workflow (warm restarts across
+// retraining sessions) and by inference tools (md_with_model).
+//
+// Format: a line-oriented header followed by one hex-float (%a) per
+// parameter — bit-exact round-trips without binary-endianness concerns.
+#pragma once
+
+#include <string>
+
+#include "deepmd/model.hpp"
+
+namespace fekf::deepmd {
+
+/// Write the model to `path`. Throws Error on I/O failure.
+void save_model(const DeepmdModel& model, const std::string& path);
+
+/// Reconstruct a model from `path`. The returned model is ready for
+/// prepare()/predict() (stats included).
+DeepmdModel load_model(const std::string& path);
+
+}  // namespace fekf::deepmd

@@ -1,0 +1,36 @@
+// DeePMD smooth radial weight s(r): 1/r below rcut_smth, then a quintic
+// polynomial decay to exactly 0 at rcut with continuous derivatives (the
+// "smooth version" of the neighbor list in §2.1).
+#pragma once
+
+#include "core/common.hpp"
+
+namespace fekf::deepmd {
+
+struct SmoothValue {
+  f64 s = 0.0;   ///< s(r)
+  f64 ds = 0.0;  ///< ds/dr
+};
+
+inline SmoothValue smooth_weight(f64 r, f64 rcut_smth, f64 rcut) {
+  SmoothValue out;
+  if (r >= rcut) return out;
+  const f64 inv_r = 1.0 / r;
+  if (r < rcut_smth) {
+    out.s = inv_r;
+    out.ds = -inv_r * inv_r;
+    return out;
+  }
+  const f64 u = (r - rcut_smth) / (rcut - rcut_smth);
+  const f64 u2 = u * u;
+  const f64 u3 = u2 * u;
+  // w(u) = u^3 (-6u^2 + 15u - 10) + 1: w(0)=1, w(1)=0, w'(0)=w'(1)=0.
+  const f64 w = u3 * (-6.0 * u2 + 15.0 * u - 10.0) + 1.0;
+  const f64 dw_du = -30.0 * u2 * (u2 - 2.0 * u + 1.0);
+  const f64 dw_dr = dw_du / (rcut - rcut_smth);
+  out.s = inv_r * w;
+  out.ds = -inv_r * inv_r * w + inv_r * dw_dr;
+  return out;
+}
+
+}  // namespace fekf::deepmd

@@ -1,0 +1,120 @@
+#include "deepmd/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "deepmd/smooth.hpp"
+#include "md/neighbor.hpp"
+
+namespace fekf::deepmd {
+
+EnvStats compute_env_stats(std::span<const md::Snapshot> snapshots,
+                           i32 num_types, const ModelConfig& config,
+                           i64 max_snapshots) {
+  FEKF_CHECK(!snapshots.empty(), "no snapshots for stats");
+  FEKF_CHECK(num_types >= 1, "num_types must be >= 1");
+  const i64 use = std::min<i64>(max_snapshots,
+                                static_cast<i64>(snapshots.size()));
+  const std::size_t nt = static_cast<std::size_t>(num_types);
+
+  // Pass 1: per-type max neighbor counts (defines padding for pass 2).
+  std::vector<i64> max_nbrs(nt, 0);
+  std::vector<md::NeighborList> lists(static_cast<std::size_t>(use));
+  std::vector<i64> counts(nt);
+  for (i64 s = 0; s < use; ++s) {
+    const md::Snapshot& snap = snapshots[static_cast<std::size_t>(s)];
+    lists[static_cast<std::size_t>(s)].build(snap.positions, snap.cell,
+                                             config.rcut);
+    for (i64 i = 0; i < snap.natoms(); ++i) {
+      std::fill(counts.begin(), counts.end(), 0);
+      for (const md::Neighbor& nb :
+           lists[static_cast<std::size_t>(s)].of(i)) {
+        const i32 t = snap.types[static_cast<std::size_t>(nb.index)];
+        FEKF_CHECK(t >= 0 && t < num_types, "type out of range");
+        ++counts[static_cast<std::size_t>(t)];
+      }
+      for (std::size_t t = 0; t < nt; ++t) {
+        max_nbrs[t] = std::max(max_nbrs[t], counts[t]);
+      }
+    }
+  }
+
+  EnvStats stats;
+  stats.suggested_sel.resize(nt);
+  for (std::size_t t = 0; t < nt; ++t) {
+    // ~15% headroom so unseen configurations rarely overflow the budget.
+    stats.suggested_sel[t] = max_nbrs[t] + std::max<i64>(2, max_nbrs[t] / 8);
+  }
+  const std::vector<i64>& sel =
+      config.sel.empty() ? stats.suggested_sel : config.sel;
+  FEKF_CHECK(static_cast<i32>(sel.size()) == num_types,
+             "sel size must equal num_types");
+
+  // Pass 2: davg/dstd per neighbor type over all slots (padding included:
+  // a padded slot contributes s = 0 and zero angular entries).
+  std::vector<f64> sum_r(nt, 0.0), sum_r2(nt, 0.0), sum_a2(nt, 0.0);
+  std::vector<i64> slots(nt, 0);
+  for (i64 s = 0; s < use; ++s) {
+    const md::Snapshot& snap = snapshots[static_cast<std::size_t>(s)];
+    const md::NeighborList& nl = lists[static_cast<std::size_t>(s)];
+    for (i64 i = 0; i < snap.natoms(); ++i) {
+      std::fill(counts.begin(), counts.end(), 0);
+      for (const md::Neighbor& nb : nl.of(i)) {
+        const std::size_t t = static_cast<std::size_t>(
+            snap.types[static_cast<std::size_t>(nb.index)]);
+        if (counts[t] >= sel[t]) continue;  // over budget: truncated
+        ++counts[t];
+        const SmoothValue sv =
+            smooth_weight(nb.r, config.rcut_smth, config.rcut);
+        sum_r[t] += sv.s;
+        sum_r2[t] += sv.s * sv.s;
+        const f64 inv_r = 1.0 / nb.r;
+        const f64 ax = sv.s * nb.d.x * inv_r;
+        const f64 ay = sv.s * nb.d.y * inv_r;
+        const f64 az = sv.s * nb.d.z * inv_r;
+        sum_a2[t] += (ax * ax + ay * ay + az * az) / 3.0;
+      }
+      for (std::size_t t = 0; t < nt; ++t) slots[t] += sel[t];
+    }
+  }
+
+  stats.davg.resize(nt);
+  stats.dstd_r.resize(nt);
+  stats.dstd_a.resize(nt);
+  for (std::size_t t = 0; t < nt; ++t) {
+    const f64 n = std::max<f64>(1.0, static_cast<f64>(slots[t]));
+    const f64 mean = sum_r[t] / n;
+    const f64 var_r = std::max(0.0, sum_r2[t] / n - mean * mean);
+    const f64 var_a = std::max(0.0, sum_a2[t] / n);
+    stats.davg[t] = mean;
+    stats.dstd_r[t] = std::max(1e-2, std::sqrt(var_r));
+    stats.dstd_a[t] = std::max(1e-2, std::sqrt(var_a));
+  }
+  return stats;
+}
+
+EnergyStats compute_energy_stats(std::span<const md::Snapshot> snapshots,
+                                 i32 num_types) {
+  FEKF_CHECK(!snapshots.empty(), "no snapshots for energy stats");
+  f64 mean_e = 0.0;
+  for (const md::Snapshot& s : snapshots) mean_e += s.energy;
+  mean_e /= static_cast<f64>(snapshots.size());
+
+  // All paper systems have fixed composition across snapshots, which makes
+  // a per-type least squares degenerate; the uniform per-atom split is the
+  // minimum-norm solution.
+  const f64 natoms = static_cast<f64>(snapshots.front().natoms());
+  EnergyStats stats;
+  stats.bias_per_type.assign(static_cast<std::size_t>(num_types),
+                             mean_e / natoms);
+  f64 var = 0.0;
+  for (const md::Snapshot& s : snapshots) {
+    const f64 r = s.energy - mean_e;
+    var += r * r;
+  }
+  var /= static_cast<f64>(snapshots.size());
+  stats.residual_std = std::max(1e-3, std::sqrt(var));
+  return stats;
+}
+
+}  // namespace fekf::deepmd

@@ -1,0 +1,39 @@
+// Dataset statistics: environment-matrix normalization (davg/dstd per
+// neighbor type, computed over all slots including padding, as DeePMD-kit
+// does) and the per-type energy bias removed before fitting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "deepmd/config.hpp"
+#include "md/system.hpp"
+
+namespace fekf::deepmd {
+
+struct EnvStats {
+  /// Per neighbor-type statistics of the raw environment matrix.
+  std::vector<f64> davg;    ///< mean of the radial column s(r)
+  std::vector<f64> dstd_r;  ///< std of the radial column
+  std::vector<f64> dstd_a;  ///< std of the angular columns s(r) * d/r
+
+  /// Auto-sized neighbor budget: max per-type neighbor count seen, plus a
+  /// small safety margin.
+  std::vector<i64> suggested_sel;
+};
+
+struct EnergyStats {
+  std::vector<f64> bias_per_type;  ///< eV subtracted per atom of each type
+  f64 residual_std = 1.0;          ///< std of (E - bias) per structure (eV)
+};
+
+/// Scan (a sample of) the snapshots and compute normalization statistics.
+/// `num_types` is the element count of the system.
+EnvStats compute_env_stats(std::span<const md::Snapshot> snapshots,
+                           i32 num_types, const ModelConfig& config,
+                           i64 max_snapshots = 32);
+
+EnergyStats compute_energy_stats(std::span<const md::Snapshot> snapshots,
+                                 i32 num_types);
+
+}  // namespace fekf::deepmd

@@ -1,0 +1,169 @@
+#include "dist/cluster.hpp"
+
+#include <cmath>
+
+#include "data/dataset.hpp"
+
+namespace fekf::dist {
+
+using train::EnvPtr;
+using train::Measurement;
+
+namespace {
+
+/// Reduce a shard's measurement into flat gradient + ABE, measuring the
+/// local compute time.
+struct ShardResult {
+  std::vector<f64> grad;
+  f64 abe = 0.0;
+  f64 seconds = 0.0;
+};
+
+ShardResult run_shard(deepmd::DeepmdModel& model, optim::FlatParams& flat,
+                      std::span<const EnvPtr> shard,
+                      const std::function<Measurement(std::span<const EnvPtr>)>&
+                          measure) {
+  ShardResult out;
+  out.grad.resize(static_cast<std::size_t>(flat.size()));
+  Stopwatch watch;
+  Measurement m = measure(shard);
+  auto params = flat.params();
+  auto g = ag::grad(m.m, params);
+  flat.gather_grads(g, out.grad);
+  out.abe = m.abe;
+  out.seconds = watch.seconds();
+  return out;
+}
+
+}  // namespace
+
+DistributedResult train_fekf_distributed(
+    deepmd::DeepmdModel& model, std::span<const EnvPtr> train_envs,
+    std::span<const EnvPtr> test_envs, const DistributedConfig& config) {
+  FEKF_CHECK(config.ranks >= 1, "need at least one rank");
+  FEKF_CHECK(config.options.batch_size >= config.ranks,
+             "global batch must cover all ranks");
+
+  DistributedResult result;
+  optim::FlatParams flat(model.parameters());
+  auto blocks =
+      optim::split_blocks(model.parameter_layout(), config.kalman.blocksize);
+  optim::KalmanOptimizer kalman(std::move(blocks), config.kalman);
+  std::vector<f64> weights(static_cast<std::size_t>(flat.size()));
+  std::vector<f64> grad(static_cast<std::size_t>(flat.size()));
+  flat.gather(weights);
+
+  const i64 grad_payload = flat.size() * static_cast<i64>(sizeof(f64));
+  const i64 natoms = train_envs.front()->natoms;
+  Rng group_rng(config.options.seed ^ 0xd1570ULL);
+  data::BatchSampler sampler(static_cast<i64>(train_envs.size()),
+                             config.options.batch_size, config.options.seed);
+
+  // One reduced update: run every rank's shard for real, take the
+  // simulated step time as max(shard) + allreduce + (one) KF update.
+  auto reduced_update =
+      [&](std::span<const EnvPtr> batch,
+          const std::function<Measurement(std::span<const EnvPtr>)>& measure,
+          f64 step_norm_cap) {
+        const i64 bs = static_cast<i64>(batch.size());
+        const i64 ranks = config.ranks;
+        std::fill(grad.begin(), grad.end(), 0.0);
+        f64 abe = 0.0;
+        f64 max_shard_seconds = 0.0;
+        for (i64 r = 0; r < ranks; ++r) {
+          const i64 lo = r * bs / ranks;
+          const i64 hi = (r + 1) * bs / ranks;
+          if (lo == hi) continue;
+          ShardResult shard = run_shard(
+              model, flat, batch.subspan(static_cast<std::size_t>(lo),
+                                         static_cast<std::size_t>(hi - lo)),
+              measure);
+          const f64 shard_weight =
+              static_cast<f64>(hi - lo) / static_cast<f64>(bs);
+          for (std::size_t i = 0; i < grad.size(); ++i) {
+            grad[i] += shard.grad[i] * shard_weight;
+          }
+          abe += shard.abe * shard_weight;
+          max_shard_seconds = std::max(max_shard_seconds, shard.seconds);
+        }
+        // Ring allreduce of the reduced gradient + the scalar error. P is
+        // NOT communicated: every rank applies the identical update below.
+        const f64 comm_s =
+            config.interconnect.allreduce_seconds(grad_payload, ranks) +
+            config.interconnect.allreduce_seconds(
+                static_cast<i64>(sizeof(f64)), ranks);
+        result.comm.gradient_bytes +=
+            InterconnectModel::allreduce_bytes(grad_payload, ranks);
+        result.comm.error_bytes += InterconnectModel::allreduce_bytes(
+            static_cast<i64>(sizeof(f64)), ranks);
+        result.comm.comm_seconds += comm_s;
+        ++result.comm.steps;
+
+        Stopwatch kf_watch;
+        kalman.update(grad, std::sqrt(static_cast<f64>(bs)) * abe, weights,
+                      step_norm_cap, abe);
+        flat.scatter(weights);
+        const f64 kf_seconds = kf_watch.seconds();
+
+        result.compute_seconds += max_shard_seconds + kf_seconds;
+        result.simulated_seconds += max_shard_seconds + comm_s + kf_seconds;
+      };
+
+  Stopwatch total_watch;
+  std::vector<i64> indices;
+  std::vector<EnvPtr> batch;
+  for (i64 epoch = 1; epoch <= config.options.max_epochs; ++epoch) {
+    while (sampler.next(indices)) {
+      batch.clear();
+      for (const i64 idx : indices) {
+        batch.push_back(train_envs[static_cast<std::size_t>(idx)]);
+      }
+      reduced_update(
+          batch,
+          [&](std::span<const EnvPtr> shard) {
+            return train::energy_measurement(model, shard);
+          },
+          /*step_norm_cap=*/0.0);
+      auto groups = train::make_force_groups(
+          natoms, config.options.force_updates_per_step, group_rng);
+      for (const auto& group : groups) {
+        reduced_update(
+            batch,
+            [&](std::span<const EnvPtr> shard) {
+              return train::force_measurement(model, shard, group,
+                                              config.options.force_prefactor);
+            },
+            std::numeric_limits<f64>::quiet_NaN());
+      }
+      ++result.train.steps;
+    }
+    train::EpochRecord record;
+    record.epoch = epoch;
+    record.cumulative_seconds = result.simulated_seconds;
+    record.train = train::evaluate(model, train_envs,
+                                   config.options.eval_max_samples,
+                                   config.options.eval_forces);
+    if (!test_envs.empty()) {
+      record.test = train::evaluate(model, test_envs,
+                                    config.options.eval_max_samples,
+                                    config.options.eval_forces);
+    }
+    result.train.history.push_back(record);
+    if (!result.train.converged && config.options.target_total_rmse > 0.0 &&
+        record.train.total() <= config.options.target_total_rmse) {
+      result.train.converged = true;
+      result.train.epochs_to_converge = epoch;
+      result.train.seconds_to_converge = total_watch.seconds();
+      result.simulated_seconds_to_converge = result.simulated_seconds;
+      break;
+    }
+  }
+  result.train.total_seconds = total_watch.seconds();
+  if (!result.train.history.empty()) {
+    result.train.final_train = result.train.history.back().train;
+    result.train.final_test = result.train.history.back().test;
+  }
+  return result;
+}
+
+}  // namespace fekf::dist

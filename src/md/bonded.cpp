@@ -1,0 +1,56 @@
+#include "md/bonded.hpp"
+
+#include <cmath>
+
+namespace fekf::md {
+
+f64 BondedTerms::compute(std::span<const Vec3> positions,
+                         std::span<const i32> types, const Cell& cell,
+                         const NeighborList& nl,
+                         std::span<Vec3> forces) const {
+  (void)types;
+  (void)nl;
+  f64 energy = 0.0;
+
+  for (const Bond& bond : bonds_) {
+    const Vec3 d = cell.displacement(positions[static_cast<std::size_t>(bond.a)],
+                                     positions[static_cast<std::size_t>(bond.b)]);
+    const f64 r = d.norm();
+    const f64 dr = r - bond.r0;
+    energy += 0.5 * bond.k * dr * dr;
+    // dE/dr = k dr; force on a along +d_hat (pulled toward b when dr > 0).
+    const Vec3 f = (bond.k * dr / r) * d;
+    forces[static_cast<std::size_t>(bond.a)] += f;
+    forces[static_cast<std::size_t>(bond.b)] -= f;
+  }
+
+  for (const Angle& ang : angles_) {
+    const Vec3 da =
+        cell.displacement(positions[static_cast<std::size_t>(ang.center)],
+                          positions[static_cast<std::size_t>(ang.a)]);
+    const Vec3 db =
+        cell.displacement(positions[static_cast<std::size_t>(ang.center)],
+                          positions[static_cast<std::size_t>(ang.b)]);
+    const f64 ra = da.norm();
+    const f64 rb = db.norm();
+    f64 cosq = da.dot(db) / (ra * rb);
+    cosq = std::min(1.0, std::max(-1.0, cosq));
+    const f64 theta = std::acos(cosq);
+    const f64 dtheta = theta - ang.theta0;
+    energy += 0.5 * ang.k * dtheta * dtheta;
+
+    // dE/dcos = k dtheta * dtheta/dcos = -k dtheta / sin(theta).
+    const f64 sin_t = std::sqrt(std::max(1e-12, 1.0 - cosq * cosq));
+    const f64 de_dcos = -ang.k * dtheta / sin_t;
+    const Vec3 dcos_da = db * (1.0 / (ra * rb)) - da * (cosq / (ra * ra));
+    const Vec3 dcos_db = da * (1.0 / (ra * rb)) - db * (cosq / (rb * rb));
+    const Vec3 fa = -de_dcos * dcos_da;  // force on atom a
+    const Vec3 fb = -de_dcos * dcos_db;  // force on atom b
+    forces[static_cast<std::size_t>(ang.a)] += fa;
+    forces[static_cast<std::size_t>(ang.b)] += fb;
+    forces[static_cast<std::size_t>(ang.center)] -= fa + fb;
+  }
+  return energy;
+}
+
+}  // namespace fekf::md

@@ -1,0 +1,41 @@
+// Intramolecular bonded terms for the flexible water teacher: harmonic
+// bonds and harmonic angles over an explicit topology. Bond partners are
+// located by minimum image (molecules are always far smaller than L/2).
+#pragma once
+
+#include <vector>
+
+#include "md/potential.hpp"
+
+namespace fekf::md {
+
+struct Bond {
+  i32 a, b;
+  f64 k;   ///< eV/Å^2
+  f64 r0;  ///< Å
+};
+
+struct Angle {
+  i32 a, center, b;
+  f64 k;       ///< eV/rad^2
+  f64 theta0;  ///< rad
+};
+
+class BondedTerms final : public Potential {
+ public:
+  BondedTerms(std::vector<Bond> bonds, std::vector<Angle> angles)
+      : bonds_(std::move(bonds)), angles_(std::move(angles)) {}
+
+  /// Bonded terms use explicit topology, not the neighbor list.
+  f64 cutoff() const override { return 0.0; }
+
+  f64 compute(std::span<const Vec3> positions, std::span<const i32> types,
+              const Cell& cell, const NeighborList& nl,
+              std::span<Vec3> forces) const override;
+
+ private:
+  std::vector<Bond> bonds_;
+  std::vector<Angle> angles_;
+};
+
+}  // namespace fekf::md

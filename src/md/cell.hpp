@@ -1,0 +1,47 @@
+// Orthorhombic periodic simulation cell. All eight paper systems are bulk
+// supercells, for which an orthorhombic box (diagonal lattice matrix) is
+// sufficient; this keeps minimum-image displacement branch-free.
+#pragma once
+
+#include "core/common.hpp"
+#include "md/vec3.hpp"
+
+namespace fekf::md {
+
+class Cell {
+ public:
+  Cell() : lengths_{1.0, 1.0, 1.0} {}
+  Cell(f64 lx, f64 ly, f64 lz) : lengths_{lx, ly, lz} {
+    FEKF_CHECK(lx > 0 && ly > 0 && lz > 0, "cell lengths must be positive");
+  }
+
+  const Vec3& lengths() const { return lengths_; }
+  f64 volume() const { return lengths_.x * lengths_.y * lengths_.z; }
+  f64 min_length() const {
+    return std::min(lengths_.x, std::min(lengths_.y, lengths_.z));
+  }
+
+  /// Minimum-image displacement r_j - r_i.
+  Vec3 displacement(const Vec3& ri, const Vec3& rj) const {
+    Vec3 d = rj - ri;
+    d.x -= lengths_.x * std::nearbyint(d.x / lengths_.x);
+    d.y -= lengths_.y * std::nearbyint(d.y / lengths_.y);
+    d.z -= lengths_.z * std::nearbyint(d.z / lengths_.z);
+    return d;
+  }
+
+  /// Wrap a position into [0, L).
+  Vec3 wrap(const Vec3& r) const {
+    auto w = [](f64 v, f64 l) {
+      f64 f = v - l * std::floor(v / l);
+      if (f >= l) f -= l;  // guard against floating rounding at the edge
+      return f;
+    };
+    return {w(r.x, lengths_.x), w(r.y, lengths_.y), w(r.z, lengths_.z)};
+  }
+
+ private:
+  Vec3 lengths_;
+};
+
+}  // namespace fekf::md

@@ -1,0 +1,41 @@
+// Sutton–Chen embedded-atom potential — the metallic teacher (Cu, Al, Mg).
+//
+//   E = eps * [ 1/2 sum_ij (a/r_ij)^n  -  c * sum_i sqrt(rho_i) ],
+//   rho_i = sum_j (a/r_ij)^m,
+//
+// with a smootherstep cutoff switch on both the pair and density terms so
+// energy and forces are C2 at the cutoff. A genuine many-body teacher: the
+// embedding sqrt makes forces depend on the environment, which is exactly
+// what the DeePMD descriptor has to learn for the metal systems.
+#pragma once
+
+#include "md/potential.hpp"
+
+namespace fekf::md {
+
+class SuttonChen final : public Potential {
+ public:
+  struct Params {
+    f64 epsilon;  ///< energy scale (eV)
+    f64 a;        ///< length scale (Å), ~ lattice constant
+    f64 c;        ///< embedding strength (dimensionless)
+    f64 n;        ///< pair exponent
+    f64 m;        ///< density exponent
+  };
+
+  SuttonChen(Params p, f64 rcut) : p_(p), rcut_(rcut) {
+    FEKF_CHECK(rcut > 0, "cutoff must be positive");
+  }
+
+  f64 cutoff() const override { return rcut_; }
+
+  f64 compute(std::span<const Vec3> positions, std::span<const i32> types,
+              const Cell& cell, const NeighborList& nl,
+              std::span<Vec3> forces) const override;
+
+ private:
+  Params p_;
+  f64 rcut_;
+};
+
+}  // namespace fekf::md

@@ -1,0 +1,107 @@
+#include "md/langevin.hpp"
+
+#include <cmath>
+
+#include "md/units.hpp"
+
+namespace fekf::md {
+
+void LangevinIntegrator::initialize_velocities(System& system,
+                                               Rng& rng) const {
+  const i64 n = system.natoms();
+  FEKF_CHECK(static_cast<i64>(system.masses.size()) == n, "masses size");
+  system.velocities.assign(static_cast<std::size_t>(n), Vec3{});
+  Vec3 p_total{};
+  f64 m_total = 0.0;
+  for (i64 i = 0; i < n; ++i) {
+    const f64 m = system.masses[static_cast<std::size_t>(i)];
+    const f64 s = std::sqrt(kBoltzmann * config_.temperature *
+                            kForceToAccel / m);
+    Vec3& v = system.velocities[static_cast<std::size_t>(i)];
+    v = Vec3{s * rng.gaussian(), s * rng.gaussian(), s * rng.gaussian()};
+    p_total += m * v;
+    m_total += m;
+  }
+  const Vec3 v_com = p_total / m_total;
+  for (auto& v : system.velocities) v -= v_com;
+}
+
+f64 LangevinIntegrator::run(System& system, i64 steps, Rng& rng) const {
+  const i64 n = system.natoms();
+  FEKF_CHECK(static_cast<i64>(system.velocities.size()) == n,
+             "velocities not initialized");
+  const f64 dt = config_.dt_fs;
+  const f64 half_dt = 0.5 * dt;
+  const f64 gamma = config_.friction;
+  const f64 c1 = std::exp(-gamma * dt);
+  const f64 kT = kBoltzmann * config_.temperature;
+
+  NeighborList nl;
+  std::vector<Vec3> forces(static_cast<std::size_t>(n));
+
+  auto eval = [&]() -> f64 {
+    nl.build(system.positions, system.cell, potential_.cutoff());
+    std::fill(forces.begin(), forces.end(), Vec3{});
+    return potential_.compute(system.positions, system.types, system.cell,
+                              nl, forces);
+  };
+
+  f64 energy = eval();
+  for (i64 step = 0; step < steps; ++step) {
+    // B: half kick.
+    for (i64 i = 0; i < n; ++i) {
+      const f64 inv_m =
+          kForceToAccel / system.masses[static_cast<std::size_t>(i)];
+      system.velocities[static_cast<std::size_t>(i)] +=
+          (half_dt * inv_m) * forces[static_cast<std::size_t>(i)];
+    }
+    // A: half drift.
+    for (i64 i = 0; i < n; ++i) {
+      system.positions[static_cast<std::size_t>(i)] +=
+          half_dt * system.velocities[static_cast<std::size_t>(i)];
+    }
+    // O: Ornstein–Uhlenbeck velocity refresh.
+    if (gamma > 0.0) {
+      for (i64 i = 0; i < n; ++i) {
+        const f64 m = system.masses[static_cast<std::size_t>(i)];
+        const f64 c2 = std::sqrt((1.0 - c1 * c1) * kT * kForceToAccel / m);
+        Vec3& v = system.velocities[static_cast<std::size_t>(i)];
+        v = c1 * v + Vec3{c2 * rng.gaussian(), c2 * rng.gaussian(),
+                          c2 * rng.gaussian()};
+      }
+    }
+    // A: half drift + wrap.
+    for (i64 i = 0; i < n; ++i) {
+      Vec3& r = system.positions[static_cast<std::size_t>(i)];
+      r = system.cell.wrap(r + half_dt *
+                                   system.velocities[static_cast<std::size_t>(i)]);
+    }
+    // Recompute forces, then B: half kick.
+    energy = eval();
+    for (i64 i = 0; i < n; ++i) {
+      const f64 inv_m =
+          kForceToAccel / system.masses[static_cast<std::size_t>(i)];
+      system.velocities[static_cast<std::size_t>(i)] +=
+          (half_dt * inv_m) * forces[static_cast<std::size_t>(i)];
+    }
+  }
+  return energy;
+}
+
+f64 LangevinIntegrator::kinetic_energy(const System& system) {
+  f64 ke = 0.0;
+  for (i64 i = 0; i < system.natoms(); ++i) {
+    ke += 0.5 * system.masses[static_cast<std::size_t>(i)] *
+          system.velocities[static_cast<std::size_t>(i)].norm2() /
+          kForceToAccel;
+  }
+  return ke;
+}
+
+f64 LangevinIntegrator::kinetic_temperature(const System& system) {
+  const i64 dof = 3 * system.natoms();
+  if (dof == 0) return 0.0;
+  return 2.0 * kinetic_energy(system) / (static_cast<f64>(dof) * kBoltzmann);
+}
+
+}  // namespace fekf::md

@@ -1,0 +1,125 @@
+#include "md/lattice.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <span>
+
+namespace fekf::md {
+
+namespace {
+
+/// Tile `basis` (fractional coordinates within one cell of dims `dims`)
+/// over an nx x ny x nz supercell.
+Structure tile(const Vec3& dims, std::span<const Vec3> basis,
+               std::span<const i32> basis_types, i32 nx, i32 ny, i32 nz) {
+  FEKF_CHECK(nx > 0 && ny > 0 && nz > 0, "supercell repeats must be positive");
+  Structure s;
+  s.cell = Cell(dims.x * nx, dims.y * ny, dims.z * nz);
+  const i64 cells = static_cast<i64>(nx) * ny * nz;
+  s.positions.reserve(static_cast<std::size_t>(cells * basis.size()));
+  s.types.reserve(static_cast<std::size_t>(cells * basis.size()));
+  for (i32 ix = 0; ix < nx; ++ix) {
+    for (i32 iy = 0; iy < ny; ++iy) {
+      for (i32 iz = 0; iz < nz; ++iz) {
+        for (std::size_t b = 0; b < basis.size(); ++b) {
+          s.positions.push_back(Vec3{(ix + basis[b].x) * dims.x,
+                                     (iy + basis[b].y) * dims.y,
+                                     (iz + basis[b].z) * dims.z});
+          s.types.push_back(basis_types[b]);
+        }
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+Structure make_fcc(f64 a, i32 nx, i32 ny, i32 nz, i32 type) {
+  const Vec3 basis[] = {{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}};
+  const i32 types[] = {type, type, type, type};
+  return tile(Vec3{a, a, a}, basis, types, nx, ny, nz);
+}
+
+Structure make_bcc(f64 a, i32 nx, i32 ny, i32 nz, i32 type) {
+  const Vec3 basis[] = {{0, 0, 0}, {0.5, 0.5, 0.5}};
+  const i32 types[] = {type, type};
+  return tile(Vec3{a, a, a}, basis, types, nx, ny, nz);
+}
+
+Structure make_hcp(f64 a, f64 c, i32 nx, i32 ny, i32 nz, i32 type) {
+  const f64 b = a * std::numbers::sqrt3;
+  const Vec3 basis[] = {{0, 0, 0},
+                        {0.5, 0.5, 0},
+                        {0.5, 1.0 / 6.0, 0.5},
+                        {0, 2.0 / 3.0, 0.5}};
+  const i32 types[] = {type, type, type, type};
+  return tile(Vec3{a, b, c}, basis, types, nx, ny, nz);
+}
+
+Structure make_diamond(f64 a, i32 nx, i32 ny, i32 nz, i32 type) {
+  const Vec3 basis[] = {{0, 0, 0},         {0.5, 0.5, 0},
+                        {0.5, 0, 0.5},     {0, 0.5, 0.5},
+                        {0.25, 0.25, 0.25}, {0.75, 0.75, 0.25},
+                        {0.75, 0.25, 0.75}, {0.25, 0.75, 0.75}};
+  const i32 types[] = {type, type, type, type, type, type, type, type};
+  return tile(Vec3{a, a, a}, basis, types, nx, ny, nz);
+}
+
+Structure make_rocksalt(f64 a, i32 nx, i32 ny, i32 nz, i32 type_a,
+                        i32 type_b) {
+  const Vec3 basis[] = {{0, 0, 0},     {0.5, 0.5, 0},  {0.5, 0, 0.5},
+                        {0, 0.5, 0.5}, {0.5, 0, 0},    {0, 0.5, 0},
+                        {0, 0, 0.5},   {0.5, 0.5, 0.5}};
+  const i32 types[] = {type_a, type_a, type_a, type_a,
+                       type_b, type_b, type_b, type_b};
+  return tile(Vec3{a, a, a}, basis, types, nx, ny, nz);
+}
+
+Structure make_fluorite(f64 a, i32 nx, i32 ny, i32 nz, i32 type_cation,
+                        i32 type_anion) {
+  const Vec3 basis[] = {
+      {0, 0, 0},          {0.5, 0.5, 0},      {0.5, 0, 0.5},
+      {0, 0.5, 0.5},      {0.25, 0.25, 0.25}, {0.75, 0.25, 0.25},
+      {0.25, 0.75, 0.25}, {0.25, 0.25, 0.75}, {0.75, 0.75, 0.25},
+      {0.75, 0.25, 0.75}, {0.25, 0.75, 0.75}, {0.75, 0.75, 0.75}};
+  const i32 types[] = {type_cation, type_cation, type_cation, type_cation,
+                       type_anion,  type_anion,  type_anion,  type_anion,
+                       type_anion,  type_anion,  type_anion,  type_anion};
+  return tile(Vec3{a, a, a}, basis, types, nx, ny, nz);
+}
+
+Structure make_water_box(f64 spacing, i32 nx, i32 ny, i32 nz, Rng& rng) {
+  FEKF_CHECK(spacing > 2.5, "water molecules need > 2.5 Å spacing");
+  Structure s;
+  s.cell = Cell(spacing * nx, spacing * ny, spacing * nz);
+  constexpr f64 kOH = 0.9572;                    // Å
+  constexpr f64 kHalfAngle = 104.52 / 2.0 * std::numbers::pi / 180.0;
+  for (i32 ix = 0; ix < nx; ++ix) {
+    for (i32 iy = 0; iy < ny; ++iy) {
+      for (i32 iz = 0; iz < nz; ++iz) {
+        const Vec3 o{(ix + 0.5) * spacing, (iy + 0.5) * spacing,
+                     (iz + 0.5) * spacing};
+        // Random orthonormal pair (u, v) defining the molecular plane.
+        Vec3 u{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+        u = u / u.norm();
+        Vec3 w{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+        Vec3 v = w - u * w.dot(u);
+        v = v / v.norm();
+        const Vec3 h1 =
+            o + kOH * (std::cos(kHalfAngle) * u + std::sin(kHalfAngle) * v);
+        const Vec3 h2 =
+            o + kOH * (std::cos(kHalfAngle) * u - std::sin(kHalfAngle) * v);
+        s.positions.push_back(o);
+        s.types.push_back(0);
+        s.positions.push_back(s.cell.wrap(h1));
+        s.types.push_back(1);
+        s.positions.push_back(s.cell.wrap(h2));
+        s.types.push_back(1);
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace fekf::md

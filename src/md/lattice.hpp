@@ -1,0 +1,44 @@
+// Crystal-lattice and molecular-box builders for the eight paper systems
+// (Table 3): FCC Cu/Al, HCP Mg, diamond Si, rocksalt NaCl/CuO, fluorite
+// HfO2, and a water box.
+#pragma once
+
+#include "core/rng.hpp"
+#include "md/system.hpp"
+
+namespace fekf::md {
+
+struct Structure {
+  Cell cell;
+  std::vector<Vec3> positions;
+  std::vector<i32> types;
+
+  i64 natoms() const { return static_cast<i64>(positions.size()); }
+};
+
+/// FCC supercell: 4 atoms per cubic cell of constant `a`.
+Structure make_fcc(f64 a, i32 nx, i32 ny, i32 nz, i32 type = 0);
+
+/// BCC supercell: 2 atoms per cubic cell.
+Structure make_bcc(f64 a, i32 nx, i32 ny, i32 nz, i32 type = 0);
+
+/// HCP supercell via the 4-atom orthorhombic cell (a, sqrt(3) a, c).
+Structure make_hcp(f64 a, f64 c, i32 nx, i32 ny, i32 nz, i32 type = 0);
+
+/// Diamond cubic supercell: 8 atoms per cell (Si).
+Structure make_diamond(f64 a, i32 nx, i32 ny, i32 nz, i32 type = 0);
+
+/// Rocksalt AB supercell: 4 A + 4 B per cubic cell (NaCl, CuO teacher).
+Structure make_rocksalt(f64 a, i32 nx, i32 ny, i32 nz, i32 type_a,
+                        i32 type_b);
+
+/// Fluorite MO2 supercell: 4 cations + 8 anions per cubic cell (HfO2).
+Structure make_fluorite(f64 a, i32 nx, i32 ny, i32 nz, i32 type_cation,
+                        i32 type_anion);
+
+/// Water box: molecules on a cubic grid with spacing `spacing`, random
+/// orientations. Atom order per molecule is O, H, H (types 0, 1, 1);
+/// molecule m owns atoms {3m, 3m+1, 3m+2}.
+Structure make_water_box(f64 spacing, i32 nx, i32 ny, i32 nz, Rng& rng);
+
+}  // namespace fekf::md

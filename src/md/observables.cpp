@@ -1,0 +1,84 @@
+#include "md/observables.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace fekf::md {
+
+RdfAccumulator::RdfAccumulator(RdfConfig config) : config_(config) {
+  FEKF_CHECK(config.r_max > 0 && config.bins > 0, "bad RDF config");
+  histogram_.assign(static_cast<std::size_t>(config.bins), 0.0);
+}
+
+void RdfAccumulator::add_frame(std::span<const Vec3> positions,
+                               std::span<const i32> types,
+                               const Cell& cell) {
+  FEKF_CHECK(positions.size() == types.size(), "array size mismatch");
+  NeighborList nl;
+  nl.build(positions, cell, config_.r_max);
+  const f64 dr = config_.r_max / static_cast<f64>(config_.bins);
+  i64 count_a = 0, count_b = 0;
+  for (const i32 t : types) {
+    if (config_.type_a < 0 || t == config_.type_a) ++count_a;
+    if (config_.type_b < 0 || t == config_.type_b) ++count_b;
+  }
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const i32 ti = types[i];
+    if (config_.type_a >= 0 && ti != config_.type_a) continue;
+    for (const Neighbor& nb : nl.of(static_cast<i64>(i))) {
+      const i32 tj = types[static_cast<std::size_t>(nb.index)];
+      if (config_.type_b >= 0 && tj != config_.type_b) continue;
+      const i64 bin = static_cast<i64>(nb.r / dr);
+      if (bin >= 0 && bin < config_.bins) {
+        histogram_[static_cast<std::size_t>(bin)] += 1.0;
+      }
+    }
+  }
+  pair_density_sum_ +=
+      static_cast<f64>(count_a) * static_cast<f64>(count_b) / cell.volume();
+  ++frames_;
+}
+
+Rdf RdfAccumulator::finalize() const {
+  FEKF_CHECK(frames_ > 0, "no frames accumulated");
+  Rdf out;
+  out.frames = frames_;
+  const f64 dr = config_.r_max / static_cast<f64>(config_.bins);
+  out.r.resize(static_cast<std::size_t>(config_.bins));
+  out.g.resize(static_cast<std::size_t>(config_.bins));
+  // Normalization: histogram / (frames * 4 pi r^2 dr * pair density).
+  const f64 mean_pair_density = pair_density_sum_ / static_cast<f64>(frames_);
+  for (i64 b = 0; b < config_.bins; ++b) {
+    const f64 r_mid = (static_cast<f64>(b) + 0.5) * dr;
+    out.r[static_cast<std::size_t>(b)] = r_mid;
+    const f64 shell = 4.0 * std::numbers::pi * r_mid * r_mid * dr;
+    out.g[static_cast<std::size_t>(b)] =
+        histogram_[static_cast<std::size_t>(b)] /
+        (static_cast<f64>(frames_) * shell * mean_pair_density);
+  }
+  return out;
+}
+
+f64 Rdf::distance(const Rdf& a, const Rdf& b) {
+  FEKF_CHECK(a.g.size() == b.g.size(), "RDF grids differ");
+  f64 se = 0.0;
+  for (std::size_t i = 0; i < a.g.size(); ++i) {
+    const f64 d = a.g[i] - b.g[i];
+    se += d * d;
+  }
+  return std::sqrt(se / static_cast<f64>(a.g.size()));
+}
+
+f64 mean_squared_displacement(std::span<const Vec3> reference,
+                              std::span<const Vec3> current,
+                              const Cell& cell) {
+  FEKF_CHECK(reference.size() == current.size(), "frame size mismatch");
+  FEKF_CHECK(!reference.empty(), "empty frames");
+  f64 acc = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    acc += cell.displacement(reference[i], current[i]).norm2();
+  }
+  return acc / static_cast<f64>(reference.size());
+}
+
+}  // namespace fekf::md

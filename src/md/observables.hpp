@@ -1,0 +1,60 @@
+// Trajectory observables: radial distribution function and mean-squared
+// displacement. Used to validate a learned force field beyond pointwise
+// force RMSE — if the model's MD reproduces the teacher's g(r), it captures
+// the structure of the liquid/solid, which is the property NNMD exists for.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "md/neighbor.hpp"
+#include "md/system.hpp"
+
+namespace fekf::md {
+
+struct RdfConfig {
+  f64 r_max = 6.0;
+  i64 bins = 60;
+  /// Restrict to pairs of these types; -1 means "any" (partial RDFs for
+  /// multi-element systems, e.g. O-O in water).
+  i32 type_a = -1;
+  i32 type_b = -1;
+};
+
+struct Rdf {
+  std::vector<f64> r;    ///< bin centers (Å)
+  std::vector<f64> g;    ///< g(r), normalized to 1 at large r for an ideal gas
+  i64 frames = 0;
+
+  /// L2 distance between two RDFs on the same grid (model-vs-teacher
+  /// structural agreement metric).
+  static f64 distance(const Rdf& a, const Rdf& b);
+};
+
+/// Accumulates g(r) over trajectory frames.
+class RdfAccumulator {
+ public:
+  explicit RdfAccumulator(RdfConfig config);
+
+  /// Add one frame.
+  void add_frame(std::span<const Vec3> positions, std::span<const i32> types,
+                 const Cell& cell);
+
+  /// Normalized RDF over all frames added so far.
+  Rdf finalize() const;
+
+ private:
+  RdfConfig config_;
+  std::vector<f64> histogram_;
+  i64 frames_ = 0;
+  f64 pair_density_sum_ = 0.0;  ///< per-frame N_a * N_b / V accumulation
+};
+
+/// Mean-squared displacement between a reference frame and the current
+/// positions (unwrapped displacement via minimum image per step is the
+/// caller's job for long runs; adequate for short validation runs).
+f64 mean_squared_displacement(std::span<const Vec3> reference,
+                              std::span<const Vec3> current,
+                              const Cell& cell);
+
+}  // namespace fekf::md

@@ -1,0 +1,123 @@
+#include "md/pair.hpp"
+
+namespace fekf::md {
+
+f64 PairPotential::compute(std::span<const Vec3> positions,
+                           std::span<const i32> types, const Cell& cell,
+                           const NeighborList& nl,
+                           std::span<Vec3> forces) const {
+  (void)cell;
+  FEKF_CHECK(positions.size() == types.size() &&
+                 positions.size() == forces.size(),
+             "array size mismatch");
+  FEKF_CHECK(nl.rcut() >= rcut_ - 1e-12,
+             "neighbor list cutoff smaller than potential cutoff");
+  const bool use_mols = !mol_ids_.empty();
+  if (use_mols) {
+    FEKF_CHECK(mol_ids_.size() == positions.size(),
+               "molecule id array size mismatch");
+  }
+  const f64 r_switch = 0.9 * rcut_;
+  const i64 n = static_cast<i64>(positions.size());
+  f64 energy = 0.0;
+  for (i64 i = 0; i < n; ++i) {
+    const i32 ti = types[static_cast<std::size_t>(i)];
+    Vec3 fi{};
+    for (const Neighbor& nb : nl.of(i)) {
+      if (nb.r >= rcut_) continue;
+      if (use_mols && mol_ids_[static_cast<std::size_t>(i)] ==
+                          mol_ids_[static_cast<std::size_t>(nb.index)]) {
+        continue;
+      }
+      const i32 tj = types[static_cast<std::size_t>(nb.index)];
+      f64 dphi = 0.0;
+      const f64 phi = pair_energy(nb.r, ti, tj, dphi);
+      if (phi == 0.0 && dphi == 0.0) continue;
+      f64 dsw = 0.0;
+      const f64 sw = switch_fn(nb.r, r_switch, rcut_, dsw);
+      const f64 e = phi * sw;
+      const f64 dedr = dphi * sw + phi * dsw;
+      // Full double-counted list: each physical pair appears in both atoms'
+      // lists, so halve the energy; the force expression already accounts
+      // for both center and neighbor roles (see derivation in DESIGN.md).
+      energy += 0.5 * e;
+      const Vec3 dir = nb.d / nb.r;
+      fi += dedr * dir;
+    }
+    forces[static_cast<std::size_t>(i)] += fi;
+  }
+  return energy;
+}
+
+// ---- Lennard-Jones ---------------------------------------------------------
+
+LennardJones::LennardJones(i32 num_types, f64 rcut)
+    : PairPotential(num_types, rcut),
+      params_(static_cast<std::size_t>(num_types) * num_types) {}
+
+void LennardJones::set_pair(i32 ti, i32 tj, Params p) {
+  params_[static_cast<std::size_t>(pair_index(ti, tj))] = p;
+  params_[static_cast<std::size_t>(pair_index(tj, ti))] = p;
+}
+
+f64 LennardJones::pair_energy(f64 r, i32 ti, i32 tj, f64& dphi) const {
+  const Params& p = params_[static_cast<std::size_t>(pair_index(ti, tj))];
+  if (p.epsilon == 0.0) {
+    dphi = 0.0;
+    return 0.0;
+  }
+  const f64 sr = p.sigma / r;
+  const f64 sr2 = sr * sr;
+  const f64 sr6 = sr2 * sr2 * sr2;
+  const f64 sr12 = sr6 * sr6;
+  dphi = 4.0 * p.epsilon * (-12.0 * sr12 + 6.0 * sr6) / r;
+  return 4.0 * p.epsilon * (sr12 - sr6);
+}
+
+// ---- Morse ------------------------------------------------------------------
+
+Morse::Morse(i32 num_types, f64 rcut)
+    : PairPotential(num_types, rcut),
+      params_(static_cast<std::size_t>(num_types) * num_types) {}
+
+void Morse::set_pair(i32 ti, i32 tj, Params p) {
+  params_[static_cast<std::size_t>(pair_index(ti, tj))] = p;
+  params_[static_cast<std::size_t>(pair_index(tj, ti))] = p;
+}
+
+f64 Morse::pair_energy(f64 r, i32 ti, i32 tj, f64& dphi) const {
+  const Params& p = params_[static_cast<std::size_t>(pair_index(ti, tj))];
+  if (p.depth == 0.0) {
+    dphi = 0.0;
+    return 0.0;
+  }
+  // E = D ((1-x)^2 - 1) so the well depth is -D at r0 and E -> 0 far away.
+  const f64 x = std::exp(-p.alpha * (r - p.r0));
+  dphi = 2.0 * p.depth * (1.0 - x) * (p.alpha * x);
+  return p.depth * ((1.0 - x) * (1.0 - x) - 1.0);
+}
+
+// ---- Born–Mayer -------------------------------------------------------------
+
+BornMayer::BornMayer(i32 num_types, f64 rcut)
+    : PairPotential(num_types, rcut),
+      params_(static_cast<std::size_t>(num_types) * num_types) {}
+
+void BornMayer::set_pair(i32 ti, i32 tj, Params p) {
+  params_[static_cast<std::size_t>(pair_index(ti, tj))] = p;
+  params_[static_cast<std::size_t>(pair_index(tj, ti))] = p;
+}
+
+f64 BornMayer::pair_energy(f64 r, i32 ti, i32 tj, f64& dphi) const {
+  const Params& p = params_[static_cast<std::size_t>(pair_index(ti, tj))];
+  if (p.a == 0.0 && p.c6 == 0.0) {
+    dphi = 0.0;
+    return 0.0;
+  }
+  const f64 rep = p.a * std::exp(-r / p.rho);
+  const f64 r6 = r * r * r * r * r * r;
+  dphi = -rep / p.rho + 6.0 * p.c6 / (r6 * r);
+  return rep - p.c6 / r6;
+}
+
+}  // namespace fekf::md

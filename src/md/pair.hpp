@@ -1,0 +1,105 @@
+// Simple pair potentials (Lennard-Jones, Morse, Born–Mayer) with per
+// type-pair parameter tables, smooth cutoff switching, and optional
+// same-molecule exclusions (used by the water teacher, whose intramolecular
+// interactions are the bonded terms instead).
+#pragma once
+
+#include <vector>
+
+#include "md/potential.hpp"
+
+namespace fekf::md {
+
+/// Common machinery: the neighbor loop with double-count halving and the
+/// per-type-pair parameter table. Derived classes implement phi(r).
+class PairPotential : public Potential {
+ public:
+  PairPotential(i32 num_types, f64 rcut)
+      : num_types_(num_types), rcut_(rcut) {
+    FEKF_CHECK(num_types >= 1, "need at least one type");
+    FEKF_CHECK(rcut > 0, "cutoff must be positive");
+  }
+
+  f64 cutoff() const override { return rcut_; }
+
+  /// Exclude pairs with equal molecule ids (size 0 disables exclusions).
+  void set_molecules(std::vector<i32> mol_ids) { mol_ids_ = std::move(mol_ids); }
+
+  f64 compute(std::span<const Vec3> positions, std::span<const i32> types,
+              const Cell& cell, const NeighborList& nl,
+              std::span<Vec3> forces) const override;
+
+ protected:
+  /// Pair energy phi(r) for the (ti, tj) pair; writes d(phi)/dr. The switch
+  /// function is applied by the caller.
+  virtual f64 pair_energy(f64 r, i32 ti, i32 tj, f64& dphi) const = 0;
+
+  i64 pair_index(i32 ti, i32 tj) const {
+    FEKF_DCHECK(ti >= 0 && ti < num_types_ && tj >= 0 && tj < num_types_,
+                "type out of range");
+    return static_cast<i64>(ti) * num_types_ + tj;
+  }
+
+  i32 num_types_;
+  f64 rcut_;
+  std::vector<i32> mol_ids_;
+};
+
+class LennardJones final : public PairPotential {
+ public:
+  struct Params {
+    f64 epsilon = 0.0;  ///< well depth (eV); 0 disables the pair
+    f64 sigma = 1.0;    ///< length scale (Å)
+  };
+
+  LennardJones(i32 num_types, f64 rcut);
+
+  /// Symmetric assignment of (ti, tj) and (tj, ti).
+  void set_pair(i32 ti, i32 tj, Params p);
+
+ protected:
+  f64 pair_energy(f64 r, i32 ti, i32 tj, f64& dphi) const override;
+
+ private:
+  std::vector<Params> params_;
+};
+
+class Morse final : public PairPotential {
+ public:
+  struct Params {
+    f64 depth = 0.0;  ///< D_e (eV); 0 disables the pair
+    f64 alpha = 1.0;  ///< width (1/Å)
+    f64 r0 = 1.0;     ///< equilibrium distance (Å)
+  };
+
+  Morse(i32 num_types, f64 rcut);
+  void set_pair(i32 ti, i32 tj, Params p);
+
+ protected:
+  f64 pair_energy(f64 r, i32 ti, i32 tj, f64& dphi) const override;
+
+ private:
+  std::vector<Params> params_;
+};
+
+/// Born–Mayer repulsion + dispersion: A exp(-r/rho) - C / r^6 (the
+/// short-range part of the NaCl teacher; Coulomb handles the ionic part).
+class BornMayer final : public PairPotential {
+ public:
+  struct Params {
+    f64 a = 0.0;    ///< repulsion amplitude (eV); 0 disables
+    f64 rho = 0.3;  ///< repulsion decay (Å)
+    f64 c6 = 0.0;   ///< dispersion coefficient (eV Å^6)
+  };
+
+  BornMayer(i32 num_types, f64 rcut);
+  void set_pair(i32 ti, i32 tj, Params p);
+
+ protected:
+  f64 pair_energy(f64 r, i32 ti, i32 tj, f64& dphi) const override;
+
+ private:
+  std::vector<Params> params_;
+};
+
+}  // namespace fekf::md

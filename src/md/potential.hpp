@@ -1,0 +1,99 @@
+// Teacher-potential interface.
+//
+// These classical potentials replace the paper's ab-initio (DFT) labelling:
+// they define a smooth, symmetry-respecting many-body potential-energy
+// surface from which training snapshots (energy + per-atom forces) are
+// sampled. See DESIGN.md §1 for why this substitution preserves the
+// training-dynamics behaviour the paper measures.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "md/neighbor.hpp"
+
+namespace fekf::md {
+
+class Potential {
+ public:
+  virtual ~Potential() = default;
+
+  /// Interaction cutoff; callers must build the NeighborList with
+  /// rcut >= cutoff() (a composite builds one list at the max).
+  virtual f64 cutoff() const = 0;
+
+  /// Accumulate forces into `forces` and return the energy contribution.
+  virtual f64 compute(std::span<const Vec3> positions,
+                      std::span<const i32> types, const Cell& cell,
+                      const NeighborList& nl,
+                      std::span<Vec3> forces) const = 0;
+};
+
+/// Smootherstep switching from 1 at r1 to 0 at rc (C2-continuous), applied
+/// by pair-style potentials so energies and forces vanish smoothly at the
+/// cutoff. Returns the switch value; `dsw` receives its derivative.
+inline f64 switch_fn(f64 r, f64 r1, f64 rc, f64& dsw) {
+  if (r <= r1) {
+    dsw = 0.0;
+    return 1.0;
+  }
+  if (r >= rc) {
+    dsw = 0.0;
+    return 0.0;
+  }
+  const f64 t = (r - r1) / (rc - r1);
+  const f64 t2 = t * t;
+  const f64 t3 = t2 * t;
+  dsw = (-30.0 * t2 * t2 + 60.0 * t3 - 30.0 * t2) / (rc - r1);
+  return 1.0 - t3 * (6.0 * t2 - 15.0 * t + 10.0);
+}
+
+/// Sum of component potentials (e.g. Morse + Coulomb for the oxides,
+/// bonded + LJ + Coulomb for water).
+class CompositePotential final : public Potential {
+ public:
+  void add(std::unique_ptr<Potential> p) {
+    FEKF_CHECK(p != nullptr, "null component");
+    cutoff_ = std::max(cutoff_, p->cutoff());
+    components_.push_back(std::move(p));
+  }
+
+  f64 cutoff() const override { return cutoff_; }
+
+  f64 compute(std::span<const Vec3> positions, std::span<const i32> types,
+              const Cell& cell, const NeighborList& nl,
+              std::span<Vec3> forces) const override {
+    f64 e = 0.0;
+    for (const auto& p : components_) {
+      e += p->compute(positions, types, cell, nl, forces);
+    }
+    return e;
+  }
+
+  i64 num_components() const { return static_cast<i64>(components_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<Potential>> components_;
+  f64 cutoff_ = 0.0;
+};
+
+/// Convenience: build the neighbor list and evaluate in one call.
+struct EnergyForces {
+  f64 energy = 0.0;
+  std::vector<Vec3> forces;
+};
+
+inline EnergyForces evaluate(const Potential& pot,
+                             std::span<const Vec3> positions,
+                             std::span<const i32> types, const Cell& cell) {
+  NeighborList nl;
+  nl.build(positions, cell, pot.cutoff());
+  EnergyForces out;
+  out.forces.assign(positions.size(), Vec3{});
+  out.energy = pot.compute(positions, types, cell, nl, out.forces);
+  return out;
+}
+
+}  // namespace fekf::md

@@ -1,0 +1,93 @@
+#include "md/sw.hpp"
+
+#include <cmath>
+
+namespace fekf::md {
+
+StillingerWeber::StillingerWeber() : p_(Params{}) {}
+
+f64 StillingerWeber::compute(std::span<const Vec3> positions,
+                             std::span<const i32> types, const Cell& cell,
+                             const NeighborList& nl,
+                             std::span<Vec3> forces) const {
+  (void)cell;
+  (void)types;  // single-species teacher
+  FEKF_CHECK(positions.size() == forces.size(), "array size mismatch");
+  const i64 n = static_cast<i64>(positions.size());
+  const f64 rc = cutoff();
+  f64 energy = 0.0;
+
+  // Two-body: E2 = 0.5 sum_i sum_nb phi2(r); F_i += phi2'(r) d_hat.
+  for (i64 i = 0; i < n; ++i) {
+    Vec3 fi{};
+    for (const Neighbor& nb : nl.of(i)) {
+      const f64 r = nb.r;
+      if (r >= rc - 1e-9) continue;
+      const f64 sr = p_.sigma / r;
+      const f64 srp = std::pow(sr, p_.p);
+      const f64 srq = p_.q == 0.0 ? 1.0 : std::pow(sr, p_.q);
+      const f64 tail = std::exp(p_.sigma / (r - rc));
+      const f64 poly = p_.big_a * p_.epsilon * (p_.big_b * srp - srq);
+      const f64 e2 = poly * tail;
+      const f64 dpoly =
+          p_.big_a * p_.epsilon *
+          (-p_.p * p_.big_b * srp + p_.q * srq) / r;
+      const f64 dtail = -p_.sigma / ((r - rc) * (r - rc)) * tail;
+      const f64 de2 = dpoly * tail + poly * dtail;
+      energy += 0.5 * e2;
+      fi += de2 * (nb.d / r);
+    }
+    forces[static_cast<std::size_t>(i)] += fi;
+  }
+
+  // Three-body: for each center i and unordered neighbor pair (j, k),
+  //   h = lambda eps (cos - cos0)^2 g(rij) g(rik),  g(r) = exp(gamma sigma/(r - rc)).
+  for (i64 i = 0; i < n; ++i) {
+    const auto& list = nl.of(i);
+    const i64 cnt = static_cast<i64>(list.size());
+    for (i64 a = 0; a < cnt; ++a) {
+      const Neighbor& nj = list[static_cast<std::size_t>(a)];
+      if (nj.r >= rc - 1e-9) continue;
+      const f64 gj = std::exp(p_.gamma * p_.sigma / (nj.r - rc));
+      const f64 dgj =
+          -p_.gamma * p_.sigma / ((nj.r - rc) * (nj.r - rc)) * gj;
+      for (i64 b = a + 1; b < cnt; ++b) {
+        const Neighbor& nk = list[static_cast<std::size_t>(b)];
+        if (nk.r >= rc - 1e-9) continue;
+        const f64 gk = std::exp(p_.gamma * p_.sigma / (nk.r - rc));
+        const f64 dgk =
+            -p_.gamma * p_.sigma / ((nk.r - rc) * (nk.r - rc)) * gk;
+        const f64 inv_rj = 1.0 / nj.r;
+        const f64 inv_rk = 1.0 / nk.r;
+        const f64 cosq = nj.d.dot(nk.d) * inv_rj * inv_rk;
+        const f64 dc = cosq - p_.cos_theta0;
+        const f64 pref = p_.lambda * p_.epsilon;
+        const f64 h = pref * dc * dc * gj * gk;
+        energy += h;
+
+        // dh/dcos, dh/drij, dh/drik.
+        const f64 dh_dcos = 2.0 * pref * dc * gj * gk;
+        const f64 dh_drj = pref * dc * dc * dgj * gk;
+        const f64 dh_drk = pref * dc * dc * gj * dgk;
+
+        // dcos/d(d_ij) = d_ik/(rj rk) - cos * d_ij / rj^2 (and j<->k).
+        const Vec3 dcos_dj =
+            nk.d * (inv_rj * inv_rk) - nj.d * (cosq * inv_rj * inv_rj);
+        const Vec3 dcos_dk =
+            nj.d * (inv_rj * inv_rk) - nk.d * (cosq * inv_rk * inv_rk);
+
+        const Vec3 gj_vec = dh_dcos * dcos_dj + dh_drj * (nj.d * inv_rj);
+        const Vec3 gk_vec = dh_dcos * dcos_dk + dh_drk * (nk.d * inv_rk);
+
+        // d_ij = r_j(image) - r_i: grad wrt r_j is +gj_vec, wrt r_i is
+        // -(gj_vec + gk_vec). Force = -grad.
+        forces[static_cast<std::size_t>(nj.index)] -= gj_vec;
+        forces[static_cast<std::size_t>(nk.index)] -= gk_vec;
+        forces[static_cast<std::size_t>(i)] += gj_vec + gk_vec;
+      }
+    }
+  }
+  return energy;
+}
+
+}  // namespace fekf::md

@@ -1,0 +1,42 @@
+// Stillinger–Weber potential — the silicon teacher.
+//
+// Two-body term plus an angular three-body term that penalizes deviation
+// from the tetrahedral angle; the canonical Si parameter set is the default.
+// Both terms vanish smoothly at a*sigma through their exponential tails, so
+// no extra switching is needed.
+#pragma once
+
+#include "md/potential.hpp"
+
+namespace fekf::md {
+
+class StillingerWeber final : public Potential {
+ public:
+  struct Params {
+    f64 epsilon = 2.1683;      ///< eV
+    f64 sigma = 2.0951;        ///< Å
+    f64 a = 1.80;              ///< cutoff multiplier (rc = a * sigma)
+    f64 lambda = 21.0;
+    f64 gamma = 1.20;
+    f64 big_a = 7.049556277;
+    f64 big_b = 0.6022245584;
+    f64 p = 4.0;
+    f64 q = 0.0;
+    f64 cos_theta0 = -1.0 / 3.0;
+  };
+
+  explicit StillingerWeber(Params p) : p_(p) {}
+  /// Canonical Si parameter set.
+  StillingerWeber();
+
+  f64 cutoff() const override { return p_.a * p_.sigma; }
+
+  f64 compute(std::span<const Vec3> positions, std::span<const i32> types,
+              const Cell& cell, const NeighborList& nl,
+              std::span<Vec3> forces) const override;
+
+ private:
+  Params p_;
+};
+
+}  // namespace fekf::md

@@ -1,0 +1,33 @@
+// Dynamical state of a simulated system plus the labelled-snapshot record
+// that the data module turns into training sets.
+#pragma once
+
+#include <vector>
+
+#include "md/cell.hpp"
+
+namespace fekf::md {
+
+struct System {
+  Cell cell;
+  std::vector<Vec3> positions;
+  std::vector<Vec3> velocities;
+  std::vector<i32> types;   ///< element type index per atom
+  std::vector<f64> masses;  ///< amu, per atom
+
+  i64 natoms() const { return static_cast<i64>(positions.size()); }
+};
+
+/// One labelled configuration: what the paper obtains from a DFT (PWmat)
+/// calculation, here produced by a teacher potential.
+struct Snapshot {
+  Cell cell;
+  std::vector<Vec3> positions;
+  std::vector<i32> types;
+  f64 energy = 0.0;          ///< total potential energy (eV)
+  std::vector<Vec3> forces;  ///< eV/Å per atom
+
+  i64 natoms() const { return static_cast<i64>(positions.size()); }
+};
+
+}  // namespace fekf::md

@@ -1,0 +1,19 @@
+// Unit system: eV (energy), Å (length), fs (time), amu (mass), Kelvin.
+// Velocities are Å/fs; forces eV/Å. Same conventions as DeePMD-kit.
+#pragma once
+
+#include "core/common.hpp"
+
+namespace fekf::md {
+
+/// Boltzmann constant in eV/K.
+inline constexpr f64 kBoltzmann = 8.617333262e-5;
+
+/// Conversion so that a = F/m comes out in Å/fs^2 when F is eV/Å and m is
+/// amu: 1 eV/(Å·amu) = 9.64853...e-3 Å/fs^2.
+inline constexpr f64 kForceToAccel = 9.648533212e-3;
+
+/// Coulomb constant e^2/(4 pi eps0) in eV·Å.
+inline constexpr f64 kCoulomb = 14.399645;
+
+}  // namespace fekf::md

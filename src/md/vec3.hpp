@@ -1,0 +1,42 @@
+// Minimal 3-vector in double precision for the MD substrate.
+#pragma once
+
+#include <cmath>
+
+#include "core/common.hpp"
+
+namespace fekf::md {
+
+struct Vec3 {
+  f64 x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3() = default;
+  Vec3(f64 xx, f64 yy, f64 zz) : x(xx), y(yy), z(zz) {}
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(f64 s) const { return {x * s, y * s, z * s}; }
+  Vec3 operator/(f64 s) const { return {x / s, y / s, z / s}; }
+  Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(f64 s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+
+  f64 dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  f64 norm2() const { return dot(*this); }
+  f64 norm() const { return std::sqrt(norm2()); }
+};
+
+inline Vec3 operator*(f64 s, const Vec3& v) { return v * s; }
+
+}  // namespace fekf::md

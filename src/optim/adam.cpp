@@ -1,0 +1,36 @@
+#include "optim/adam.hpp"
+
+#include <cmath>
+
+namespace fekf::optim {
+
+Adam::Adam(i64 size, AdamConfig config) : config_(config) {
+  FEKF_CHECK(size > 0, "empty parameter vector");
+  m_.assign(static_cast<std::size_t>(size), 0.0);
+  v_.assign(static_cast<std::size_t>(size), 0.0);
+}
+
+f64 Adam::current_lr() const {
+  const f64 decay = std::pow(
+      config_.decay_rate,
+      static_cast<f64>(t_ / std::max<i64>(1, config_.decay_steps)));
+  return config_.lr * config_.lr_scale * decay;
+}
+
+void Adam::step(std::span<const f64> g, std::span<f64> w) {
+  FEKF_CHECK(g.size() == m_.size() && w.size() == m_.size(),
+             "adam size mismatch");
+  ++t_;
+  const f64 lr = current_lr();
+  const f64 b1t = 1.0 - std::pow(config_.beta1, static_cast<f64>(t_));
+  const f64 b2t = 1.0 - std::pow(config_.beta2, static_cast<f64>(t_));
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    m_[i] = config_.beta1 * m_[i] + (1.0 - config_.beta1) * g[i];
+    v_[i] = config_.beta2 * v_[i] + (1.0 - config_.beta2) * g[i] * g[i];
+    const f64 m_hat = m_[i] / b1t;
+    const f64 v_hat = v_[i] / b2t;
+    w[i] -= lr * m_hat / (std::sqrt(v_hat) + config_.eps);
+  }
+}
+
+}  // namespace fekf::optim

@@ -1,0 +1,43 @@
+// Adam on the flattened parameter vector — the paper's baseline optimizer
+// with DeePMD's schedule: lr 1e-3 with exponential decay 0.95 every
+// `decay_steps` steps (paper §4 uses 5000).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace fekf::optim {
+
+struct AdamConfig {
+  f64 lr = 1e-3;
+  f64 beta1 = 0.9;
+  f64 beta2 = 0.999;
+  f64 eps = 1e-8;
+  f64 decay_rate = 0.95;
+  i64 decay_steps = 5000;
+  /// Large-minibatch scaling of the base lr (sqrt scaling is the paper's
+  /// Table 1 default: "readjusted by multiplying ... square root of the
+  /// minibatch").
+  f64 lr_scale = 1.0;
+};
+
+class Adam {
+ public:
+  Adam(i64 size, AdamConfig config);
+
+  /// One update: w -= lr_t * m_hat / (sqrt(v_hat) + eps).
+  void step(std::span<const f64> g, std::span<f64> w);
+
+  f64 current_lr() const;
+  i64 steps() const { return t_; }
+
+ private:
+  AdamConfig config_;
+  std::vector<f64> m_;
+  std::vector<f64> v_;
+  i64 t_ = 0;
+};
+
+}  // namespace fekf::optim

@@ -1,0 +1,52 @@
+#include "optim/ekf_blocks.hpp"
+
+namespace fekf::optim {
+
+std::vector<BlockSpec> split_blocks(
+    std::span<const std::pair<std::string, i64>> layer_layout,
+    i64 blocksize) {
+  FEKF_CHECK(blocksize >= 1, "blocksize must be >= 1");
+  std::vector<BlockSpec> blocks;
+  BlockSpec current;
+  i64 offset = 0;
+
+  auto flush = [&]() {
+    if (current.size > 0) {
+      blocks.push_back(current);
+      current = BlockSpec{};
+    }
+  };
+
+  for (const auto& [name, size] : layer_layout) {
+    FEKF_CHECK(size >= 0, "negative layer size");
+    if (size > blocksize) {
+      // Split: close the running group, then emit blocksize chunks.
+      flush();
+      i64 remaining = size;
+      i64 chunk_offset = offset;
+      int chunk_id = 0;
+      while (remaining > 0) {
+        const i64 chunk = std::min(blocksize, remaining);
+        blocks.push_back(BlockSpec{chunk_offset, chunk,
+                                   name + "#" + std::to_string(chunk_id)});
+        remaining -= chunk;
+        chunk_offset += chunk;
+        ++chunk_id;
+      }
+    } else {
+      if (current.size + size > blocksize) flush();
+      if (current.size == 0) {
+        current.offset = offset;
+        current.name = name;
+      } else {
+        current.name += "+" + name;
+      }
+      current.size += size;
+    }
+    offset += size;
+  }
+  flush();
+  return blocks;
+}
+
+}  // namespace fekf::optim

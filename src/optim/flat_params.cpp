@@ -1,0 +1,56 @@
+#include "optim/flat_params.hpp"
+
+namespace fekf::optim {
+
+FlatParams::FlatParams(std::vector<ag::Variable> params)
+    : params_(std::move(params)) {
+  offsets_.reserve(params_.size());
+  for (const ag::Variable& p : params_) {
+    FEKF_CHECK(p.defined(), "undefined parameter leaf");
+    offsets_.push_back(total_);
+    total_ += p.numel();
+  }
+}
+
+void FlatParams::gather(std::span<f64> out) const {
+  FEKF_CHECK(static_cast<i64>(out.size()) == total_, "gather size mismatch");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const Tensor& t = params_[i].value();
+    const f32* src = t.data();
+    f64* dst = out.data() + offsets_[i];
+    for (i64 k = 0; k < t.numel(); ++k) dst[k] = src[k];
+  }
+}
+
+void FlatParams::scatter(std::span<const f64> values) {
+  FEKF_CHECK(static_cast<i64>(values.size()) == total_,
+             "scatter size mismatch");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable& p = params_[i];
+    Tensor t(p.value().rows(), p.value().cols());
+    const f64* src = values.data() + offsets_[i];
+    f32* dst = t.data();
+    for (i64 k = 0; k < t.numel(); ++k) dst[k] = static_cast<f32>(src[k]);
+    p.set_value(t);
+  }
+}
+
+void FlatParams::gather_grads(std::span<const ag::Variable> grads,
+                              std::span<f64> out) const {
+  FEKF_CHECK(grads.size() == params_.size(), "gradient list size mismatch");
+  FEKF_CHECK(static_cast<i64>(out.size()) == total_,
+             "gather_grads size mismatch");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    f64* dst = out.data() + offsets_[i];
+    if (!grads[i].defined()) {
+      std::fill_n(dst, params_[i].numel(), 0.0);
+      continue;
+    }
+    const Tensor& g = grads[i].value();
+    FEKF_CHECK(g.numel() == params_[i].numel(), "gradient shape mismatch");
+    const f32* src = g.data();
+    for (i64 k = 0; k < g.numel(); ++k) dst[k] = src[k];
+  }
+}
+
+}  // namespace fekf::optim

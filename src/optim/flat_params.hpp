@@ -1,0 +1,43 @@
+// Flattened view over a model's parameter leaves.
+//
+// Optimizers work on one contiguous f64 vector; this adapter gathers the
+// f32 parameter tensors into it and scatters updates back. The flattening
+// order is the model's canonical parameter order, which the EKF block
+// splitter relies on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace fekf::optim {
+
+class FlatParams {
+ public:
+  explicit FlatParams(std::vector<ag::Variable> params);
+
+  i64 size() const { return total_; }
+  const std::vector<ag::Variable>& params() const { return params_; }
+
+  /// Copy current parameter values into `out` (size() entries).
+  void gather(std::span<f64> out) const;
+
+  /// Write `values` back into the parameter leaves.
+  void scatter(std::span<const f64> values);
+
+  /// Flatten a list of gradient Variables (aligned with params()) into
+  /// `out`. Missing (undefined) gradients contribute zeros.
+  void gather_grads(std::span<const ag::Variable> grads,
+                    std::span<f64> out) const;
+
+  /// Offset of parameter leaf `i` within the flat vector.
+  i64 offset(std::size_t i) const { return offsets_[i]; }
+
+ private:
+  std::vector<ag::Variable> params_;
+  std::vector<i64> offsets_;
+  i64 total_ = 0;
+};
+
+}  // namespace fekf::optim

@@ -1,0 +1,132 @@
+#include "optim/kalman.hpp"
+
+#include <cmath>
+
+#include "tensor/kernels.hpp"
+
+namespace fekf::optim {
+
+KalmanOptimizer::KalmanOptimizer(std::vector<BlockSpec> blocks,
+                                 KalmanConfig config)
+    : blocks_(std::move(blocks)), config_(config), lambda_(config.lambda0) {
+  FEKF_CHECK(!blocks_.empty(), "no parameter blocks");
+  for (const BlockSpec& b : blocks_) {
+    FEKF_CHECK(b.offset == total_, "blocks must tile the parameter vector");
+    total_ += b.size;
+    max_block_ = std::max(max_block_, b.size);
+  }
+  p_.resize(blocks_.size());
+  reset();
+  pg_.resize(static_cast<std::size_t>(max_block_));
+  pg2_.resize(static_cast<std::size_t>(max_block_));
+  if (!config_.fused_p_update) {
+    scratch_.resize(static_cast<std::size_t>(max_block_ * max_block_));
+  }
+}
+
+void KalmanOptimizer::reset() {
+  lambda_ = config_.lambda0;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const i64 n = blocks_[b].size;
+    p_[b].assign(static_cast<std::size_t>(n * n), 0.0);
+    for (i64 i = 0; i < n; ++i) {
+      p_[b][static_cast<std::size_t>(i * n + i)] = 1.0;
+    }
+  }
+}
+
+void KalmanOptimizer::update(std::span<const f64> g, f64 kscale,
+                             std::span<f64> w, f64 step_norm_cap, f64 abe) {
+  const f64 cap =
+      std::isnan(step_norm_cap) ? config_.max_step_norm : step_norm_cap;
+  FEKF_CHECK(static_cast<i64>(g.size()) == total_ &&
+                 static_cast<i64>(w.size()) == total_,
+             "gradient/weight size mismatch");
+  if (!config_.fused_p_update &&
+      scratch_.size() < static_cast<std::size_t>(max_block_ * max_block_)) {
+    scratch_.resize(static_cast<std::size_t>(max_block_ * max_block_));
+  }
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const i64 n = blocks_[b].size;
+    const i64 off = blocks_[b].offset;
+    std::span<const f64> gb = g.subspan(static_cast<std::size_t>(off),
+                                        static_cast<std::size_t>(n));
+    std::span<f64> pb(p_[b]);
+    std::span<f64> q(pg_.data(), static_cast<std::size_t>(n));
+
+    kernels::symv(pb, gb, q, n);  // q = P g
+    const f64 gpg = kernels::dot(gb, q);
+    const f64 a = 1.0 / (lambda_ + gpg);
+
+    // K = a q; the uncached ("framework") path recomputes P g for K the
+    // way a naive graph would, costing a second symv (opt3 removes it).
+    std::span<f64> k_vec = q;
+    if (!config_.cache_pg) {
+      std::span<f64> q2(pg2_.data(), static_cast<std::size_t>(n));
+      kernels::symv(pb, gb, q2, n);
+      k_vec = q2;
+    }
+
+    // P <- (P - a q q^T) / lambda, symmetrized. Note (1/a) K K^T with
+    // K = a P g equals a (P g)(P g)^T, so the kernels take q and a.
+    if (config_.fused_p_update) {
+      kernels::p_update_fused(pb, k_vec, a, lambda_, n);
+    } else {
+      kernels::p_update_unfused(pb, k_vec, a, lambda_,
+                                std::span<f64>(scratch_), n);
+    }
+
+    // w_b += kscale * K = kscale * a * q, clamped to full Newton closure
+    // and clipped to the trust region.
+    f64 step_scale = kscale * a;
+    if (abe >= 0.0 && gpg > 1e-30) {
+      step_scale = std::min(step_scale, abe / gpg);
+    }
+    if (cap > 0.0) {
+      f64 k_norm2 = 0.0;
+      for (const f64 v : k_vec) k_norm2 += v * v;
+      const f64 step_norm = std::abs(step_scale) * std::sqrt(k_norm2);
+      if (step_norm > cap) {
+        step_scale *= cap / step_norm;
+      }
+    }
+    kernels::axpy(step_scale, k_vec,
+                  w.subspan(static_cast<std::size_t>(off),
+                            std::size_t(n)));
+
+    // Process-noise floor (see KalmanConfig::process_noise).
+    if (config_.process_noise > 0.0) {
+      for (i64 i = 0; i < n; ++i) {
+        pb[static_cast<std::size_t>(i * n + i)] += config_.process_noise;
+      }
+    }
+
+    // Covariance limiting (see KalmanConfig::p_max).
+    if (config_.p_max > 0.0) {
+      f64 max_diag = 0.0;
+      for (i64 i = 0; i < n; ++i) {
+        max_diag = std::max(max_diag, pb[static_cast<std::size_t>(i * n + i)]);
+      }
+      if (max_diag > config_.p_max) {
+        const f64 scale = config_.p_max / max_diag;
+        for (f64& v : p_[b]) v *= scale;
+      }
+    }
+  }
+  lambda_ = lambda_ * config_.nu + 1.0 - config_.nu;
+}
+
+i64 KalmanOptimizer::p_bytes() const {
+  i64 bytes = 0;
+  for (const BlockSpec& b : blocks_) {
+    bytes += b.size * b.size * static_cast<i64>(sizeof(f64));
+  }
+  return bytes;
+}
+
+i64 KalmanOptimizer::scratch_bytes() const {
+  if (config_.fused_p_update) return 0;
+  return max_block_ * max_block_ * static_cast<i64>(sizeof(f64));
+}
+
+}  // namespace fekf::optim

@@ -1,0 +1,121 @@
+// Block-diagonal Extended-Kalman-Filter optimizer state (Algorithm 1).
+//
+// One KalmanOptimizer instance holds the block-diagonal weights-error
+// covariance P = diag(P_1 .. P_L) plus the memory factor lambda, and
+// performs the scalar-measurement EKF update per block:
+//
+//   a   = 1 / (lambda + g^T P g)
+//   K   = a P g
+//   P  <- (P - (1/a) K K^T) / lambda, symmetrized     (Alg. 1 lines 8-11)
+//   lambda <- lambda nu + 1 - nu                      (line 12)
+//   w  <- w + kscale * K,  kscale = sqrt(bs) * ABE    (line 13)
+//
+// Both RLEKF (batch 1, instance-by-instance) and FEKF (reduced gradient /
+// error) drive this same state; they differ only in how the trainer builds
+// (g, ABE). The opt3 system optimizations are toggles here: the fused
+// P-update kernel and the cached-Pg reuse between the `a` and `K` steps.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "optim/ekf_blocks.hpp"
+
+namespace fekf::optim {
+
+struct KalmanConfig {
+  i64 blocksize = 10240;
+  f64 lambda0 = 0.98;  ///< paper defaults; use 0.90/0.996 for batch > 1024
+  f64 nu = 0.9987;
+  bool fused_p_update = true;  ///< opt3: hand-written single-pass kernel
+  bool cache_pg = true;        ///< opt3: reuse P g between a and K
+
+  /// Covariance limiting: the forgetting factor (the 1/lambda in the P
+  /// update) inflates P exponentially along directions the scalar
+  /// measurements never excite; once a gradient finally points there the
+  /// Kalman gain explodes. Classic RLS wind-up — invisible at the paper's
+  /// scale (tens of thousands of diverse updates keep all directions
+  /// excited) but fatal for short runs. When a block's max diagonal
+  /// exceeds p_max the whole block is rescaled (preserves positive
+  /// definiteness). <= 0 disables.
+  f64 p_max = 100.0;
+
+  /// Additive process noise: P <- P + q I after each update. The paper's
+  /// stochastic model (§2.2) includes process noise through the
+  /// lambda^{-1/2} weight dynamics; the multiplicative 1/lambda term
+  /// vanishes as lambda -> 1, which lets P collapse along the repeatedly
+  /// measured (extensive) energy direction while force updates keep
+  /// perturbing the weights. A small additive floor keeps the filter
+  /// responsive. 0 disables.
+  f64 process_noise = 1e-2;
+
+  /// Trust region: per-block weight-step norm cap. Occasional large Kalman
+  /// gains (right after a covariance rescale, or when a gradient first
+  /// excites an inflated direction) otherwise throw the extensive energy
+  /// fit off by tens of eV. <= 0 disables.
+  f64 max_step_norm = 0.1;
+
+  /// Paper §3.2 large-batch recommendation.
+  static KalmanConfig for_batch_size(i64 batch_size) {
+    KalmanConfig cfg;
+    if (batch_size > 1024) {
+      cfg.lambda0 = 0.90;
+      cfg.nu = 0.996;
+    }
+    return cfg;
+  }
+};
+
+class KalmanOptimizer {
+ public:
+  KalmanOptimizer(std::vector<BlockSpec> blocks, KalmanConfig config);
+
+  /// One EKF update over all blocks. `g` is the flattened measurement
+  /// gradient (size = total parameter count), `kscale` the weight-step
+  /// scale (sqrt(bs) * ABE, already signed if needed); `w` is updated
+  /// in place. `step_norm_cap` overrides config().max_step_norm for this
+  /// update (energy updates are well-posed scalar Newton steps and run
+  /// uncapped; the noisier force updates use the trust region): NaN keeps
+  /// the config value, <= 0 disables.
+  /// `abe` (when >= 0) enables Newton-closure clamping: the sqrt(bs)
+  /// factor in kscale can overshoot the full scalar-measurement closure
+  /// when g^T P g is large and batch gradients are sign-correlated (early
+  /// training), so the per-block step is clamped to the step that would
+  /// exactly close the measurement error abe. Inactive at batch size 1,
+  /// where kscale*a <= abe/(g^T P g) always holds.
+  void update(std::span<const f64> g, f64 kscale, std::span<f64> w,
+              f64 step_norm_cap = std::numeric_limits<f64>::quiet_NaN(),
+              f64 abe = -1.0);
+
+  f64 lambda() const { return lambda_; }
+  void set_lambda(f64 lambda) { lambda_ = lambda; }
+  const std::vector<BlockSpec>& blocks() const { return blocks_; }
+  i64 total_size() const { return total_; }
+
+  /// Persistent P storage in bytes (the paper's Section 5.3 accounting).
+  i64 p_bytes() const;
+  /// Scratch bytes the current configuration needs per update (the
+  /// unfused path materializes K K^T for the largest block).
+  i64 scratch_bytes() const;
+  /// p_bytes + scratch: the peak resident footprint model of §5.3.
+  i64 peak_bytes() const { return p_bytes() + scratch_bytes(); }
+
+  /// Reset P to identity and lambda to lambda0.
+  void reset();
+
+  KalmanConfig& config() { return config_; }
+
+ private:
+  std::vector<BlockSpec> blocks_;
+  KalmanConfig config_;
+  f64 lambda_;
+  i64 total_ = 0;
+  i64 max_block_ = 0;
+  std::vector<std::vector<f64>> p_;  ///< per-block dense covariance
+  std::vector<f64> pg_;              ///< cached P g (max block size)
+  std::vector<f64> pg2_;             ///< second P g for the uncached path
+  std::vector<f64> scratch_;         ///< unfused K K^T materialization
+};
+
+}  // namespace fekf::optim

@@ -1,0 +1,108 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace fekf {
+
+namespace {
+i64 default_thread_count() {
+  if (const char* env = std::getenv("FEKF_NUM_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<i64>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<i64>(hw) : 1;
+}
+}  // namespace
+
+ThreadPool::ThreadPool(i64 threads) {
+  if (threads <= 0) threads = default_thread_count();
+  // The calling thread always participates in for_range, so spawn one fewer
+  // worker than the requested width (a width-1 pool has no workers at all).
+  const i64 spawned = threads - 1;
+  workers_.reserve(static_cast<std::size_t>(spawned));
+  for (i64 i = 0; i < spawned; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  if (workers_.empty()) {
+    packaged();  // no workers: run inline
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::for_range(i64 begin, i64 end,
+                           const std::function<void(i64)>& fn, i64 grain) {
+  if (begin >= end) return;
+  FEKF_CHECK(grain >= 1, "grain must be >= 1");
+  const i64 n = end - begin;
+  const i64 width = size() + 1;  // workers + calling thread
+  if (width == 1 || n <= grain) {
+    for (i64 i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // Static chunking with an atomic cursor for load balance.
+  auto cursor = std::make_shared<std::atomic<i64>>(begin);
+  auto body = [cursor, end, grain, &fn] {
+    for (;;) {
+      const i64 lo = cursor->fetch_add(grain);
+      if (lo >= end) break;
+      const i64 hi = std::min(lo + grain, end);
+      for (i64 i = lo; i < hi; ++i) fn(i);
+    }
+  };
+  std::vector<std::future<void>> futures;
+  const i64 helpers = std::min<i64>(width - 1, (n + grain - 1) / grain - 1);
+  futures.reserve(static_cast<std::size_t>(helpers));
+  for (i64 t = 0; t < helpers; ++t) {
+    futures.push_back(submit(body));
+  }
+  body();  // calling thread participates
+  for (auto& f : futures) f.get();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(i64 begin, i64 end, const std::function<void(i64)>& fn,
+                  i64 grain) {
+  ThreadPool::global().for_range(begin, end, fn, grain);
+}
+
+}  // namespace fekf

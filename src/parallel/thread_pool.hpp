@@ -1,0 +1,55 @@
+// Work-queue thread pool. One process-wide pool (sized from
+// hardware_concurrency or FEKF_NUM_THREADS) backs parallel_for; dedicated
+// pools can be created for tests and the virtual cluster.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace fekf {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(i64 threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  i64 size() const { return static_cast<i64>(workers_.size()); }
+
+  /// Enqueue a task; the returned future reports completion / exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [begin, end) across the pool and wait. The calling
+  /// thread participates, so a pool of size 1 still makes progress and a
+  /// nested call from a worker does not deadlock (it runs serially).
+  void for_range(i64 begin, i64 end, const std::function<void(i64)>& fn,
+                 i64 grain = 1);
+
+  /// Process-wide pool, created on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().for_range.
+void parallel_for(i64 begin, i64 end, const std::function<void(i64)>& fn,
+                  i64 grain = 1);
+
+}  // namespace fekf

@@ -1,0 +1,37 @@
+#include "tensor/kernel_counter.hpp"
+
+namespace fekf {
+
+std::atomic<bool> KernelCounter::enabled_{false};
+std::atomic<i64> KernelCounter::total_{0};
+std::mutex KernelCounter::mutex_;
+
+std::map<std::string, i64>& KernelCounter::names() {
+  static std::map<std::string, i64> m;
+  return m;
+}
+
+void KernelCounter::record(const char* name) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  total_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++names()[name];
+}
+
+void KernelCounter::enable(bool on) { enabled_.store(on); }
+bool KernelCounter::enabled() { return enabled_.load(); }
+
+void KernelCounter::reset() {
+  total_.store(0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  names().clear();
+}
+
+i64 KernelCounter::total() { return total_.load(); }
+
+std::map<std::string, i64> KernelCounter::breakdown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return names();
+}
+
+}  // namespace fekf

@@ -1,0 +1,61 @@
+// Kernel-launch accounting.
+//
+// The paper's Figure 7(b) measures the number of CUDA kernels launched per
+// training iteration at each optimization level (baseline autograd ->
+// hand-written derivatives -> fusion -> optimizer kernels). In this CPU
+// reproduction, every primitive tensor kernel reports a "launch" here; fused
+// custom kernels report exactly one. The *ratio* between configurations is
+// the quantity the experiment reproduces.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/common.hpp"
+
+namespace fekf {
+
+class KernelCounter {
+ public:
+  /// Record one launch of kernel `name`. Cheap when disabled (single
+  /// relaxed atomic load).
+  static void record(const char* name);
+
+  /// Enable/disable counting and per-name breakdown collection.
+  static void enable(bool on);
+  static bool enabled();
+
+  static void reset();
+  static i64 total();
+
+  /// Per-kernel-name launch counts since the last reset.
+  static std::map<std::string, i64> breakdown();
+
+ private:
+  static std::atomic<bool> enabled_;
+  static std::atomic<i64> total_;
+  static std::mutex mutex_;
+  static std::map<std::string, i64>& names();
+};
+
+/// RAII: enable counting, reset, and read the delta on destruction.
+class KernelCountScope {
+ public:
+  KernelCountScope() : was_enabled_(KernelCounter::enabled()) {
+    KernelCounter::enable(true);
+    start_ = KernelCounter::total();
+  }
+  ~KernelCountScope() { KernelCounter::enable(was_enabled_); }
+  KernelCountScope(const KernelCountScope&) = delete;
+  KernelCountScope& operator=(const KernelCountScope&) = delete;
+
+  i64 count() const { return KernelCounter::total() - start_; }
+
+ private:
+  bool was_enabled_;
+  i64 start_ = 0;
+};
+
+}  // namespace fekf

@@ -1,0 +1,425 @@
+#include "tensor/kernels.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/kernel_counter.hpp"
+
+namespace fekf::kernels {
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  FEKF_CHECK(a.same_shape(b), std::string(op) + ": shape mismatch " +
+                                  a.shape_str() + " vs " + b.shape_str());
+}
+
+template <typename Fn>
+Tensor elementwise2(const Tensor& a, const Tensor& b, const char* name,
+                    Fn&& fn) {
+  check_same_shape(a, b, name);
+  KernelCounter::record(name);
+  Tensor out(a.rows(), a.cols());
+  const f32* pa = a.data();
+  const f32* pb = b.data();
+  f32* po = out.data();
+  const i64 n = a.numel();
+  for (i64 i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+  return out;
+}
+
+template <typename Fn>
+Tensor elementwise1(const Tensor& a, const char* name, Fn&& fn) {
+  KernelCounter::record(name);
+  Tensor out(a.rows(), a.cols());
+  const f32* pa = a.data();
+  f32* po = out.data();
+  const i64 n = a.numel();
+  for (i64 i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return elementwise2(a, b, "add", [](f32 x, f32 y) { return x + y; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return elementwise2(a, b, "sub", [](f32 x, f32 y) { return x - y; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return elementwise2(a, b, "mul", [](f32 x, f32 y) { return x * y; });
+}
+
+Tensor neg(const Tensor& a) {
+  return elementwise1(a, "neg", [](f32 x) { return -x; });
+}
+
+Tensor scale(const Tensor& a, f32 alpha) {
+  return elementwise1(a, "scale", [alpha](f32 x) { return alpha * x; });
+}
+
+Tensor add_scalar(const Tensor& a, f32 alpha) {
+  return elementwise1(a, "add_scalar", [alpha](f32 x) { return x + alpha; });
+}
+
+Tensor tanh(const Tensor& a) {
+  return elementwise1(a, "tanh", [](f32 x) { return std::tanh(x); });
+}
+
+Tensor tanh_backward(const Tensor& grad_y, const Tensor& y) {
+  return elementwise2(grad_y, y, "tanh_backward",
+                      [](f32 g, f32 t) { return g * (1.0f - t * t); });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  FEKF_CHECK(a.cols() == b.rows(), "matmul: inner dims " + a.shape_str() +
+                                       " * " + b.shape_str());
+  KernelCounter::record("matmul");
+  const i64 m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out = Tensor::zeros(m, n);
+  const f32* __restrict__ pa = a.data();
+  const f32* __restrict__ pb = b.data();
+  f32* __restrict__ po = out.data();
+  for (i64 i = 0; i < m; ++i) {
+    for (i64 l = 0; l < k; ++l) {
+      const f32 av = pa[i * k + l];
+      const f32* __restrict__ brow = pb + l * n;
+      f32* __restrict__ orow = po + i * n;
+      for (i64 j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  FEKF_CHECK(a.rows() == b.rows(), "matmul_tn: inner dims " + a.shape_str() +
+                                       "^T * " + b.shape_str());
+  KernelCounter::record("matmul_tn");
+  const i64 k = a.rows(), m = a.cols(), n = b.cols();
+  Tensor out = Tensor::zeros(m, n);
+  const f32* __restrict__ pa = a.data();
+  const f32* __restrict__ pb = b.data();
+  f32* __restrict__ po = out.data();
+  for (i64 l = 0; l < k; ++l) {
+    const f32* __restrict__ arow = pa + l * m;
+    const f32* __restrict__ brow = pb + l * n;
+    for (i64 i = 0; i < m; ++i) {
+      const f32 av = arow[i];
+      f32* __restrict__ orow = po + i * n;
+      for (i64 j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  FEKF_CHECK(a.cols() == b.cols(), "matmul_nt: inner dims " + a.shape_str() +
+                                       " * " + b.shape_str() + "^T");
+  KernelCounter::record("matmul_nt");
+  const i64 m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor out(m, n);
+  const f32* __restrict__ pa = a.data();
+  const f32* __restrict__ pb = b.data();
+  f32* __restrict__ po = out.data();
+  for (i64 i = 0; i < m; ++i) {
+    const f32* __restrict__ arow = pa + i * k;
+    for (i64 j = 0; j < n; ++j) {
+      const f32* __restrict__ brow = pb + j * k;
+      f64 acc = 0.0;
+      for (i64 l = 0; l < k; ++l) acc += static_cast<f64>(arow[l]) * brow[l];
+      po[i * n + j] = static_cast<f32>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  KernelCounter::record("transpose");
+  Tensor out(a.cols(), a.rows());
+  const f32* pa = a.data();
+  f32* po = out.data();
+  const i64 m = a.rows(), n = a.cols();
+  for (i64 i = 0; i < m; ++i) {
+    for (i64 j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  }
+  return out;
+}
+
+Tensor add_rowvec(const Tensor& mat, const Tensor& row) {
+  FEKF_CHECK(row.rows() == 1 && row.cols() == mat.cols(),
+             "add_rowvec: " + mat.shape_str() + " + " + row.shape_str());
+  KernelCounter::record("add_rowvec");
+  Tensor out(mat.rows(), mat.cols());
+  const f32* pm = mat.data();
+  const f32* pr = row.data();
+  f32* po = out.data();
+  const i64 m = mat.rows(), n = mat.cols();
+  for (i64 i = 0; i < m; ++i) {
+    for (i64 j = 0; j < n; ++j) po[i * n + j] = pm[i * n + j] + pr[j];
+  }
+  return out;
+}
+
+Tensor broadcast_rows(const Tensor& row, i64 m) {
+  FEKF_CHECK(row.rows() == 1, "broadcast_rows expects a 1xn row");
+  KernelCounter::record("broadcast_rows");
+  Tensor out(m, row.cols());
+  const i64 n = row.cols();
+  for (i64 i = 0; i < m; ++i) {
+    std::memcpy(out.data() + i * n, row.data(),
+                static_cast<std::size_t>(n) * sizeof(f32));
+  }
+  return out;
+}
+
+Tensor broadcast_cols(const Tensor& col, i64 n) {
+  FEKF_CHECK(col.cols() == 1, "broadcast_cols expects an mx1 column");
+  KernelCounter::record("broadcast_cols");
+  const i64 m = col.rows();
+  Tensor out(m, n);
+  const f32* pc = col.data();
+  f32* po = out.data();
+  for (i64 i = 0; i < m; ++i) {
+    const f32 v = pc[i];
+    for (i64 j = 0; j < n; ++j) po[i * n + j] = v;
+  }
+  return out;
+}
+
+Tensor linear_fused(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  FEKF_CHECK(x.cols() == w.rows() && bias.rows() == 1 && bias.cols() == w.cols(),
+             "linear_fused: " + x.shape_str() + " * " + w.shape_str() + " + " +
+                 bias.shape_str());
+  KernelCounter::record("linear_fused");
+  const i64 m = x.rows(), k = x.cols(), n = w.cols();
+  Tensor out(m, n);
+  const f32* __restrict__ px = x.data();
+  const f32* __restrict__ pw = w.data();
+  const f32* __restrict__ pb = bias.data();
+  f32* __restrict__ po = out.data();
+  for (i64 i = 0; i < m; ++i) {
+    f32* __restrict__ orow = po + i * n;
+    std::memcpy(orow, pb, static_cast<std::size_t>(n) * sizeof(f32));
+    const f32* __restrict__ xrow = px + i * k;
+    for (i64 l = 0; l < k; ++l) {
+      const f32 xv = xrow[l];
+      const f32* __restrict__ wrow = pw + l * n;
+      for (i64 j = 0; j < n; ++j) orow[j] += xv * wrow[j];
+    }
+  }
+  return out;
+}
+
+Tensor broadcast_full(const Tensor& scalar, i64 m, i64 n) {
+  FEKF_CHECK(scalar.numel() == 1, "broadcast_full expects a scalar");
+  KernelCounter::record("broadcast_full");
+  return Tensor::full(m, n, scalar.item());
+}
+
+Tensor sum_all(const Tensor& a) {
+  KernelCounter::record("sum_all");
+  const f32* pa = a.data();
+  f64 acc = 0.0;
+  const i64 n = a.numel();
+  for (i64 i = 0; i < n; ++i) acc += pa[i];
+  return Tensor::scalar(static_cast<f32>(acc));
+}
+
+Tensor sum_rows(const Tensor& a) {
+  KernelCounter::record("sum_rows");
+  const i64 m = a.rows(), n = a.cols();
+  Tensor out(1, n);
+  const f32* pa = a.data();
+  for (i64 j = 0; j < n; ++j) {
+    f64 acc = 0.0;
+    for (i64 i = 0; i < m; ++i) acc += pa[i * n + j];
+    out.data()[j] = static_cast<f32>(acc);
+  }
+  return out;
+}
+
+Tensor sum_cols(const Tensor& a) {
+  KernelCounter::record("sum_cols");
+  const i64 m = a.rows(), n = a.cols();
+  Tensor out(m, 1);
+  const f32* pa = a.data();
+  for (i64 i = 0; i < m; ++i) {
+    f64 acc = 0.0;
+    for (i64 j = 0; j < n; ++j) acc += pa[i * n + j];
+    out.data()[i] = static_cast<f32>(acc);
+  }
+  return out;
+}
+
+Tensor slice_cols(const Tensor& a, i64 c0, i64 c1) {
+  FEKF_CHECK(0 <= c0 && c0 <= c1 && c1 <= a.cols(), "slice_cols bounds");
+  KernelCounter::record("slice_cols");
+  const i64 m = a.rows(), n = a.cols(), w = c1 - c0;
+  Tensor out(m, w);
+  for (i64 i = 0; i < m; ++i) {
+    std::memcpy(out.data() + i * w, a.data() + i * n + c0,
+                static_cast<std::size_t>(w) * sizeof(f32));
+  }
+  return out;
+}
+
+Tensor pad_cols(const Tensor& a, i64 cols, i64 c0) {
+  FEKF_CHECK(c0 >= 0 && c0 + a.cols() <= cols, "pad_cols bounds");
+  KernelCounter::record("pad_cols");
+  const i64 m = a.rows(), w = a.cols();
+  Tensor out = Tensor::zeros(m, cols);
+  for (i64 i = 0; i < m; ++i) {
+    std::memcpy(out.data() + i * cols + c0, a.data() + i * w,
+                static_cast<std::size_t>(w) * sizeof(f32));
+  }
+  return out;
+}
+
+Tensor slice_rows(const Tensor& a, i64 r0, i64 r1) {
+  FEKF_CHECK(0 <= r0 && r0 <= r1 && r1 <= a.rows(), "slice_rows bounds");
+  KernelCounter::record("slice_rows");
+  const i64 n = a.cols(), h = r1 - r0;
+  Tensor out(h, n);
+  std::memcpy(out.data(), a.data() + r0 * n,
+              static_cast<std::size_t>(h * n) * sizeof(f32));
+  return out;
+}
+
+Tensor pad_rows(const Tensor& a, i64 rows, i64 r0) {
+  FEKF_CHECK(r0 >= 0 && r0 + a.rows() <= rows, "pad_rows bounds");
+  KernelCounter::record("pad_rows");
+  const i64 n = a.cols();
+  Tensor out = Tensor::zeros(rows, n);
+  std::memcpy(out.data() + r0 * n, a.data(),
+              static_cast<std::size_t>(a.rows() * n) * sizeof(f32));
+  return out;
+}
+
+Tensor concat_rows(const Tensor& a, const Tensor& b) {
+  FEKF_CHECK(a.cols() == b.cols(), "concat_rows: column mismatch");
+  KernelCounter::record("concat_rows");
+  Tensor out(a.rows() + b.rows(), a.cols());
+  std::memcpy(out.data(), a.data(),
+              static_cast<std::size_t>(a.numel()) * sizeof(f32));
+  std::memcpy(out.data() + a.numel(), b.data(),
+              static_cast<std::size_t>(b.numel()) * sizeof(f32));
+  return out;
+}
+
+Tensor copy(const Tensor& a) {
+  KernelCounter::record("copy");
+  return a.clone();
+}
+
+f64 dot_all(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "dot_all");
+  KernelCounter::record("dot_all");
+  const f32* pa = a.data();
+  const f32* pb = b.data();
+  f64 acc = 0.0;
+  const i64 n = a.numel();
+  for (i64 i = 0; i < n; ++i) acc += static_cast<f64>(pa[i]) * pb[i];
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// f64 EKF kernels
+// ---------------------------------------------------------------------------
+
+void symv(std::span<const f64> p, std::span<const f64> g, std::span<f64> y,
+          i64 n) {
+  FEKF_CHECK(static_cast<i64>(p.size()) == n * n &&
+                 static_cast<i64>(g.size()) == n &&
+                 static_cast<i64>(y.size()) == n,
+             "symv size mismatch");
+  KernelCounter::record("ekf_symv");
+  const f64* __restrict__ pp = p.data();
+  const f64* __restrict__ pg = g.data();
+  f64* __restrict__ py = y.data();
+  for (i64 i = 0; i < n; ++i) {
+    const f64* __restrict__ row = pp + i * n;
+    f64 acc = 0.0;
+    for (i64 j = 0; j < n; ++j) acc += row[j] * pg[j];
+    py[i] = acc;
+  }
+}
+
+f64 dot(std::span<const f64> a, std::span<const f64> b) {
+  FEKF_CHECK(a.size() == b.size(), "dot size mismatch");
+  KernelCounter::record("ekf_dot");
+  f64 acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(f64 alpha, std::span<const f64> x, std::span<f64> y) {
+  FEKF_CHECK(x.size() == y.size(), "axpy size mismatch");
+  KernelCounter::record("ekf_axpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void p_update_unfused(std::span<f64> p, std::span<const f64> k, f64 inv_a,
+                      f64 lambda, std::span<f64> scratch, i64 n) {
+  FEKF_CHECK(static_cast<i64>(p.size()) == n * n &&
+                 static_cast<i64>(k.size()) == n &&
+                 static_cast<i64>(scratch.size()) >= n * n,
+             "p_update_unfused size mismatch");
+  // Launch 1: outer product tmp = k k^T (materialized, like torch.matmul).
+  KernelCounter::record("ekf_outer");
+  f64* __restrict__ tmp = scratch.data();
+  const f64* __restrict__ pk = k.data();
+  for (i64 i = 0; i < n; ++i) {
+    const f64 ki = pk[i];
+    f64* __restrict__ row = tmp + i * n;
+    for (i64 j = 0; j < n; ++j) row[j] = ki * pk[j];
+  }
+  // Launch 2: P = (P - tmp * inv_a) / lambda.
+  KernelCounter::record("ekf_sub_scale");
+  f64* __restrict__ pp = p.data();
+  const f64 inv_lambda = 1.0 / lambda;
+  for (i64 i = 0; i < n * n; ++i) {
+    pp[i] = (pp[i] - inv_a * tmp[i]) * inv_lambda;
+  }
+  // Launch 3: symmetrize (Algorithm 1, line 11).
+  symmetrize(p, n);
+}
+
+void p_update_fused(std::span<f64> p, std::span<const f64> k, f64 inv_a,
+                    f64 lambda, i64 n) {
+  FEKF_CHECK(static_cast<i64>(p.size()) == n * n &&
+                 static_cast<i64>(k.size()) == n,
+             "p_update_fused size mismatch");
+  KernelCounter::record("ekf_p_update_fused");
+  f64* __restrict__ pp = p.data();
+  const f64* __restrict__ pk = k.data();
+  const f64 inv_lambda = 1.0 / lambda;
+  for (i64 i = 0; i < n; ++i) {
+    const f64 ki_scaled = inv_a * pk[i];
+    for (i64 j = i; j < n; ++j) {
+      // (P - (1/a) k k^T)/lambda on the upper triangle; symmetrization is
+      // folded in by averaging the (i,j)/(j,i) pair of the current P.
+      const f64 pij = 0.5 * (pp[i * n + j] + pp[j * n + i]);
+      const f64 v = (pij - ki_scaled * pk[j]) * inv_lambda;
+      pp[i * n + j] = v;
+      pp[j * n + i] = v;
+    }
+  }
+}
+
+void symmetrize(std::span<f64> p, i64 n) {
+  FEKF_CHECK(static_cast<i64>(p.size()) == n * n, "symmetrize size mismatch");
+  KernelCounter::record("ekf_symmetrize");
+  f64* __restrict__ pp = p.data();
+  for (i64 i = 0; i < n; ++i) {
+    for (i64 j = i + 1; j < n; ++j) {
+      const f64 v = 0.5 * (pp[i * n + j] + pp[j * n + i]);
+      pp[i * n + j] = v;
+      pp[j * n + i] = v;
+    }
+  }
+}
+
+}  // namespace fekf::kernels

@@ -1,0 +1,104 @@
+// Primitive tensor kernels.
+//
+// Every function here corresponds to one device-kernel launch in the paper's
+// GPU implementation and records itself with KernelCounter. The autograd ops
+// (src/autograd/ops.*) compose these; the "system optimization" experiments
+// (Fig. 7b/7c) compare composed-primitive graphs against the fused custom
+// kernels at the bottom of this header and in src/deepmd / src/optim.
+//
+// f32 kernels operate on Tensor (network values); f64 kernels at the bottom
+// operate on raw buffers (EKF covariance state, which the paper keeps in
+// 64-bit: its reported P-block sizes, e.g. 10240^2 -> 800 MB, imply 8-byte
+// elements).
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace fekf::kernels {
+
+// ---- elementwise ----------------------------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor neg(const Tensor& a);
+Tensor scale(const Tensor& a, f32 alpha);
+Tensor add_scalar(const Tensor& a, f32 alpha);
+Tensor tanh(const Tensor& a);
+/// Fused tanh backward: gx = gy * (1 - y*y), one launch. The unfused path
+/// composes mul/sub/full and costs three launches.
+Tensor tanh_backward(const Tensor& grad_y, const Tensor& y);
+
+// ---- linear algebra -------------------------------------------------------
+Tensor matmul(const Tensor& a, const Tensor& b);         // a(m,k) * b(k,n)
+Tensor matmul_tn(const Tensor& a, const Tensor& b);      // a^T(k,m) * b(k,n)
+Tensor matmul_nt(const Tensor& a, const Tensor& b);      // a(m,k) * b^T(n,k)
+Tensor transpose(const Tensor& a);
+
+// ---- broadcast ------------------------------------------------------------
+/// mat(m,n) + row(1,n), broadcast over rows.
+Tensor add_rowvec(const Tensor& mat, const Tensor& row);
+/// Replicate row(1,n) into (m,n).
+Tensor broadcast_rows(const Tensor& row, i64 m);
+/// Replicate col(m,1) into (m,n).
+Tensor broadcast_cols(const Tensor& col, i64 n);
+/// Replicate scalar(1,1) into (m,n).
+Tensor broadcast_full(const Tensor& scalar, i64 m, i64 n);
+
+/// Fused affine layer: x(m,k) * w(k,n) + bias(1,n), one launch (opt2-style
+/// kernel fusion; the unfused path is matmul + add_rowvec).
+Tensor linear_fused(const Tensor& x, const Tensor& w, const Tensor& bias);
+
+// ---- reductions (double accumulators) --------------------------------------
+Tensor sum_all(const Tensor& a);                         // -> 1x1
+Tensor sum_rows(const Tensor& a);                        // (m,n) -> 1xn
+Tensor sum_cols(const Tensor& a);                        // (m,n) -> mx1
+
+// ---- shape / layout -------------------------------------------------------
+Tensor slice_cols(const Tensor& a, i64 c0, i64 c1);      // columns [c0, c1)
+/// Inverse of slice_cols: place a(m, c1-c0) into zeros(m, cols) at c0.
+Tensor pad_cols(const Tensor& a, i64 cols, i64 c0);
+Tensor slice_rows(const Tensor& a, i64 r0, i64 r1);      // rows [c0, c1)
+Tensor pad_rows(const Tensor& a, i64 rows, i64 r0);
+Tensor concat_rows(const Tensor& a, const Tensor& b);
+
+// ---- misc -----------------------------------------------------------------
+Tensor copy(const Tensor& a);
+/// Frobenius inner product <a, b> (one launch, double accumulator).
+f64 dot_all(const Tensor& a, const Tensor& b);
+
+// ============================================================================
+// f64 optimizer kernels (EKF covariance algebra). P is a dense symmetric
+// n x n block stored fully; g, k are length-n vectors.
+// ============================================================================
+
+/// y = P * g (symmetric matrix-vector product).
+void symv(std::span<const f64> p, std::span<const f64> g, std::span<f64> y,
+          i64 n);
+
+/// <a, b>.
+f64 dot(std::span<const f64> a, std::span<const f64> b);
+
+/// y += alpha * x.
+void axpy(f64 alpha, std::span<const f64> x, std::span<f64> y);
+
+/// Unfused ("framework") P update, as a GEMM-backed graph would do it:
+///   tmp = k * k^T            (materializes n^2 scratch — the memory cost
+///   P   = (P - tmp / a) / lambda            the paper's opt3 eliminates)
+/// `scratch` must have n*n capacity; three kernel launches are recorded.
+void p_update_unfused(std::span<f64> p, std::span<const f64> k, f64 inv_a,
+                      f64 lambda, std::span<f64> scratch, i64 n);
+
+/// Fused hand-written P update (paper §3.4 "optimizer optimization"):
+///   P = (P - (1/a) k k^T) / lambda, then symmetrize,
+/// computed in one pass over the upper triangle and mirrored — one launch,
+/// no scratch. Because k k^T is exactly symmetric, folding the symmetrize
+/// step into the same pass is lossless.
+void p_update_fused(std::span<f64> p, std::span<const f64> k, f64 inv_a,
+                    f64 lambda, i64 n);
+
+/// P = (P + P^T) / 2 (explicit symmetrization used by the unfused path).
+void symmetrize(std::span<f64> p, i64 n);
+
+}  // namespace fekf::kernels

@@ -1,0 +1,73 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fekf {
+
+Tensor::Tensor(i64 rows, i64 cols) : rows_(rows), cols_(cols) {
+  FEKF_CHECK(rows >= 0 && cols >= 0, "negative tensor dimension");
+  if (numel() > 0) {
+    data_ = std::shared_ptr<f32[]>(new f32[static_cast<std::size_t>(numel())]);
+  }
+}
+
+Tensor Tensor::zeros(i64 rows, i64 cols) {
+  Tensor t(rows, cols);
+  std::memset(t.data(), 0, static_cast<std::size_t>(t.numel()) * sizeof(f32));
+  return t;
+}
+
+Tensor Tensor::full(i64 rows, i64 cols, f32 value) {
+  Tensor t(rows, cols);
+  std::fill_n(t.data(), t.numel(), value);
+  return t;
+}
+
+Tensor Tensor::from(i64 rows, i64 cols, std::initializer_list<f32> values) {
+  FEKF_CHECK(static_cast<i64>(values.size()) == rows * cols,
+             "initializer size mismatch");
+  Tensor t(rows, cols);
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::from_vector(i64 rows, i64 cols, const std::vector<f32>& v) {
+  FEKF_CHECK(static_cast<i64>(v.size()) == rows * cols,
+             "vector size mismatch");
+  Tensor t(rows, cols);
+  std::copy(v.begin(), v.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::randn(i64 rows, i64 cols, Rng& rng, f64 stddev) {
+  Tensor t(rows, cols);
+  f32* p = t.data();
+  for (i64 i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<f32>(rng.gaussian(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  Tensor t(rows_, cols_);
+  if (numel() > 0) {
+    std::memcpy(t.data(), data(),
+                static_cast<std::size_t>(numel()) * sizeof(f32));
+  }
+  return t;
+}
+
+Tensor Tensor::reshaped(i64 rows, i64 cols) const {
+  FEKF_CHECK(rows * cols == numel(), "reshape must preserve numel: " +
+                                         shape_str() + " -> [" +
+                                         std::to_string(rows) + ", " +
+                                         std::to_string(cols) + "]");
+  Tensor t;
+  t.data_ = data_;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  return t;
+}
+
+}  // namespace fekf

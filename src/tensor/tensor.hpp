@@ -1,0 +1,87 @@
+// Dense row-major float32 matrix — the value type flowing through the
+// autograd engine and the DeePMD network.
+//
+// Design choices (deliberate, documented here once):
+//  * Rank is always 2. Scalars are 1x1, column vectors n x 1, row vectors
+//    1 x n. This keeps every kernel a flat 2D loop and makes shapes easy to
+//    reason about in the descriptor algebra (D = G^T R R^T G^<).
+//  * A Tensor is a shared handle to its storage (like torch.Tensor);
+//    clone() deep-copies. Ops in ops.hpp always allocate fresh outputs, so
+//    sharing is safe inside the tape.
+//  * float32, matching mixed-precision GPU training; reductions that need
+//    extra headroom accumulate in double internally.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/rng.hpp"
+
+namespace fekf {
+
+class Tensor {
+ public:
+  /// Empty 0x0 tensor (falsey placeholder).
+  Tensor() = default;
+
+  /// Uninitialized rows x cols tensor.
+  Tensor(i64 rows, i64 cols);
+
+  static Tensor zeros(i64 rows, i64 cols);
+  static Tensor full(i64 rows, i64 cols, f32 value);
+  static Tensor scalar(f32 value) { return full(1, 1, value); }
+  static Tensor from(i64 rows, i64 cols, std::initializer_list<f32> values);
+  static Tensor from_vector(i64 rows, i64 cols, const std::vector<f32>& v);
+
+  /// He/Xavier-style normal init used for network weights.
+  static Tensor randn(i64 rows, i64 cols, Rng& rng, f64 stddev = 1.0);
+
+  i64 rows() const { return rows_; }
+  i64 cols() const { return cols_; }
+  i64 numel() const { return rows_ * cols_; }
+  bool empty() const { return numel() == 0; }
+
+  f32* data() { return data_.get(); }
+  const f32* data() const { return data_.get(); }
+
+  f32& at(i64 r, i64 c) {
+    FEKF_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "index");
+    return data_.get()[r * cols_ + c];
+  }
+  f32 at(i64 r, i64 c) const {
+    FEKF_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "index");
+    return data_.get()[r * cols_ + c];
+  }
+
+  /// Value of a 1x1 tensor.
+  f32 item() const {
+    FEKF_CHECK(numel() == 1, "item() on non-scalar tensor");
+    return data_.get()[0];
+  }
+
+  bool same_shape(const Tensor& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  Tensor clone() const;
+
+  /// Shares storage; shape must preserve numel.
+  Tensor reshaped(i64 rows, i64 cols) const;
+
+  std::string shape_str() const {
+    return "[" + std::to_string(rows_) + ", " + std::to_string(cols_) + "]";
+  }
+
+  /// Bytes of the underlying storage.
+  i64 bytes() const { return numel() * static_cast<i64>(sizeof(f32)); }
+
+ private:
+  std::shared_ptr<f32[]> data_;
+  i64 rows_ = 0;
+  i64 cols_ = 0;
+};
+
+}  // namespace fekf

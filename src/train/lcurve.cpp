@@ -1,0 +1,53 @@
+#include "train/lcurve.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace fekf::train {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+}  // namespace
+
+void write_lcurve(const TrainResult& result, const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "w"));
+  FEKF_CHECK(f != nullptr, "cannot open '" + path + "' for writing");
+  std::fprintf(f.get(),
+               "epoch,seconds,train_e_rmse,train_f_rmse,test_e_rmse,"
+               "test_f_rmse\n");
+  for (const EpochRecord& rec : result.history) {
+    std::fprintf(f.get(), "%lld,%.6f,%.8g,%.8g,%.8g,%.8g\n",
+                 static_cast<long long>(rec.epoch), rec.cumulative_seconds,
+                 rec.train.energy_rmse, rec.train.force_rmse,
+                 rec.test.energy_rmse, rec.test.force_rmse);
+  }
+}
+
+std::vector<EpochRecord> read_lcurve(const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "r"));
+  FEKF_CHECK(f != nullptr, "cannot open '" + path + "' for reading");
+  char header[256];
+  FEKF_CHECK(std::fgets(header, sizeof(header), f.get()) != nullptr,
+             "empty lcurve file");
+  std::vector<EpochRecord> records;
+  long long epoch = 0;
+  f64 seconds = 0, te = 0, tf = 0, ve = 0, vf = 0;
+  while (std::fscanf(f.get(), "%lld,%lf,%lf,%lf,%lf,%lf", &epoch, &seconds,
+                     &te, &tf, &ve, &vf) == 6) {
+    EpochRecord rec;
+    rec.epoch = static_cast<i64>(epoch);
+    rec.cumulative_seconds = seconds;
+    rec.train.energy_rmse = te;
+    rec.train.force_rmse = tf;
+    rec.test.energy_rmse = ve;
+    rec.test.force_rmse = vf;
+    records.push_back(rec);
+  }
+  return records;
+}
+
+}  // namespace fekf::train

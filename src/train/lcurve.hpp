@@ -1,0 +1,20 @@
+// Learning-curve writer — the equivalent of DeePMD-kit's lcurve.out:
+// one CSV row per epoch with train/test RMSE and cumulative wall time, so
+// runs can be plotted or post-processed (the paper's artifact workflow
+// greps epoch_train.dat the same way).
+#pragma once
+
+#include <string>
+
+#include "train/trainer.hpp"
+
+namespace fekf::train {
+
+/// Write `history` as CSV:
+///   epoch,seconds,train_e_rmse,train_f_rmse,test_e_rmse,test_f_rmse
+void write_lcurve(const TrainResult& result, const std::string& path);
+
+/// Parse it back (round-trip for tooling/tests).
+std::vector<EpochRecord> read_lcurve(const std::string& path);
+
+}  // namespace fekf::train

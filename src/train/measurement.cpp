@@ -1,0 +1,84 @@
+#include "train/measurement.hpp"
+
+#include <cmath>
+
+#include "autograd/ops.hpp"
+
+namespace fekf::train {
+
+namespace op = ag::ops;
+
+Measurement energy_measurement(const deepmd::DeepmdModel& model,
+                               std::span<const EnvPtr> batch) {
+  FEKF_CHECK(!batch.empty(), "empty batch");
+  const f64 natoms = static_cast<f64>(batch.front()->natoms);
+  const f64 norm = 1.0 / (static_cast<f64>(batch.size()) * natoms);
+  Measurement out;
+  for (const EnvPtr& env : batch) {
+    auto pred = model.predict(env, /*with_forces=*/false);
+    const f64 err = env->energy_label - static_cast<f64>(pred.energy.item());
+    const f64 sigma = err >= 0.0 ? 1.0 : -1.0;  // Alg. 1 lines 3-5
+    out.abe += std::abs(err) * norm;
+    ag::Variable term =
+        op::scale(pred.energy, static_cast<f32>(sigma * norm));
+    out.m = out.m.defined() ? op::add(out.m, term) : term;
+  }
+  return out;
+}
+
+Measurement force_measurement(const deepmd::DeepmdModel& model,
+                              std::span<const EnvPtr> batch,
+                              std::span<const i64> group,
+                              f64 update_prefactor) {
+  FEKF_CHECK(!batch.empty(), "empty batch");
+  FEKF_CHECK(!group.empty(), "empty force group");
+  // Normalization follows the RLEKF/FEKF implementation lineage: the
+  // measurement is pf * SUM of sign-flipped components over natoms, while
+  // the reported error is pf * MEAN absolute component error over natoms.
+  // The deliberate mismatch (error understated by the component count)
+  // damps the force step against the extensive total-energy direction —
+  // this is the "heuristic" weight update of Algorithm 1 line 13; with a
+  // consistent mean/mean scaling the force updates destabilize the energy
+  // fit (total energy is natoms-extensive, forces are not).
+  const f64 natoms = static_cast<f64>(batch.front()->natoms);
+  const f64 bs = static_cast<f64>(batch.size());
+  const f64 ncomps = static_cast<f64>(group.size()) * 3.0;
+  const f64 grad_norm = update_prefactor / (bs * natoms);
+  const f64 abe_norm = update_prefactor / (bs * natoms * ncomps);
+  Measurement out;
+  for (const EnvPtr& env : batch) {
+    auto pred = model.predict(env, /*with_forces=*/true);
+    const Tensor& f = pred.forces.value();
+    const Tensor& y = env->force_label;
+    // Sign-weighted selection mask over the group's components.
+    Tensor mask = Tensor::zeros(env->natoms, 3);
+    for (const i64 atom : group) {
+      for (int axis = 0; axis < 3; ++axis) {
+        const f64 err = static_cast<f64>(y.at(atom, axis)) - f.at(atom, axis);
+        const f64 sigma = err >= 0.0 ? 1.0 : -1.0;
+        mask.at(atom, axis) = static_cast<f32>(sigma * grad_norm);
+        out.abe += std::abs(err) * abe_norm;
+      }
+    }
+    ag::Variable term = op::sum_all(op::mul(pred.forces, ag::Variable(mask)));
+    out.m = out.m.defined() ? op::add(out.m, term) : term;
+  }
+  return out;
+}
+
+std::vector<std::vector<i64>> make_force_groups(i64 natoms, i64 ngroups,
+                                                Rng& rng) {
+  FEKF_CHECK(natoms > 0 && ngroups > 0, "bad group parameters");
+  ngroups = std::min(ngroups, natoms);
+  std::vector<i64> order(static_cast<std::size_t>(natoms));
+  for (i64 i = 0; i < natoms; ++i) order[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(order);
+  std::vector<std::vector<i64>> groups(static_cast<std::size_t>(ngroups));
+  for (i64 i = 0; i < natoms; ++i) {
+    groups[static_cast<std::size_t>(i % ngroups)].push_back(
+        order[static_cast<std::size_t>(i)]);
+  }
+  return groups;
+}
+
+}  // namespace fekf::train

@@ -1,0 +1,43 @@
+// EKF measurement construction (Algorithm 1 lines 3-7).
+//
+// The Kalman update consumes a SCALAR measurement. Multi-output residuals
+// (a batch of energies; a group of force components) are reduced with the
+// sign-flip trick: each prediction enters the sum with the sign that makes
+// its residual positive, so the summed error equals the mean ABSOLUTE error
+// and the gradient is the matching sign-weighted mean — the "early
+// reduction" of the funnel dataflow (§3.1, Fig. 3).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "train/metrics.hpp"
+
+namespace fekf::train {
+
+struct Measurement {
+  ag::Variable m;  ///< scalar, differentiable w.r.t. the weights
+  f64 abe = 0.0;   ///< mean absolute error of the reduced residuals
+};
+
+/// Batched energy measurement, normalized per atom and per sample:
+///   m = (1/(bs*natoms)) sum_b sigma_b E_hat_b,  abe = mean |dE| / natoms.
+Measurement energy_measurement(const deepmd::DeepmdModel& model,
+                               std::span<const EnvPtr> batch);
+
+/// Batched force measurement over the atom subset `group` (sorted-order
+/// indices): per-component sign flips; the measurement gradient is
+/// normalized per atom (pf * sum / natoms) and the error per component AND
+/// per atom (pf * mean / natoms) — the RLEKF-lineage heuristic scaling that
+/// keeps the extensive energy fit stable (see the .cpp comment).
+Measurement force_measurement(const deepmd::DeepmdModel& model,
+                              std::span<const EnvPtr> batch,
+                              std::span<const i64> group,
+                              f64 update_prefactor = 2.0);
+
+/// Random partition of [0, natoms) into `ngroups` near-equal groups (the
+/// paper's four force updates per step use one group each).
+std::vector<std::vector<i64>> make_force_groups(i64 natoms, i64 ngroups,
+                                                Rng& rng);
+
+}  // namespace fekf::train

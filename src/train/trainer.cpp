@@ -1,0 +1,262 @@
+#include "train/trainer.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "autograd/ops.hpp"
+#include "core/log.hpp"
+#include "data/dataset.hpp"
+
+namespace fekf::train {
+
+namespace op = ag::ops;
+
+namespace {
+
+/// Shared epoch loop: `run_step(batch_indices)` performs one optimizer
+/// step; metrics/convergence bookkeeping is identical for all trainers.
+template <typename StepFn>
+TrainResult run_epochs(deepmd::DeepmdModel& model,
+                       std::span<const EnvPtr> train_envs,
+                       std::span<const EnvPtr> test_envs,
+                       const TrainOptions& options, StepFn&& run_step) {
+  TrainResult result;
+  data::BatchSampler sampler(static_cast<i64>(train_envs.size()),
+                             options.batch_size, options.seed);
+  Stopwatch watch;
+  std::vector<i64> indices;
+  std::vector<EnvPtr> batch;
+  for (i64 epoch = 1; epoch <= options.max_epochs; ++epoch) {
+    while (sampler.next(indices)) {
+      batch.clear();
+      for (const i64 idx : indices) {
+        batch.push_back(train_envs[static_cast<std::size_t>(idx)]);
+      }
+      run_step(std::span<const EnvPtr>(batch));
+      ++result.steps;
+    }
+    EpochRecord record;
+    record.epoch = epoch;
+    record.cumulative_seconds = watch.seconds();
+    record.train = evaluate(model, train_envs, options.eval_max_samples,
+                            options.eval_forces);
+    if (!test_envs.empty()) {
+      record.test = evaluate(model, test_envs, options.eval_max_samples,
+                             options.eval_forces);
+    }
+    if (options.verbose) {
+      FEKF_INFO << "epoch " << epoch << " train E-RMSE "
+                << record.train.energy_rmse << " F-RMSE "
+                << record.train.force_rmse << " (t=" << record.cumulative_seconds
+                << "s)";
+    }
+    result.history.push_back(record);
+    if (!result.converged && options.target_total_rmse > 0.0 &&
+        record.train.total() <= options.target_total_rmse) {
+      result.converged = true;
+      result.epochs_to_converge = epoch;
+      result.seconds_to_converge = record.cumulative_seconds;
+      break;
+    }
+  }
+  result.total_seconds = watch.seconds();
+  if (!result.history.empty()) {
+    result.final_train = result.history.back().train;
+    result.final_test = result.history.back().test;
+  }
+  return result;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AdamTrainer
+// ---------------------------------------------------------------------------
+
+AdamTrainer::AdamTrainer(deepmd::DeepmdModel& model,
+                         optim::AdamConfig adam_config,
+                         LossConfig loss_config, TrainOptions options)
+    : model_(model),
+      flat_(model.parameters()),
+      adam_(flat_.size(), adam_config),
+      loss_config_(loss_config),
+      options_(options),
+      lr0_(adam_config.lr * adam_config.lr_scale) {}
+
+ag::Variable AdamTrainer::batch_loss(std::span<const EnvPtr> batch) {
+  // DeePMD loss with lr-coupled prefactors:
+  //   L = pe (dE/N)^2 + pf/(3N) sum |dF|^2,   p = limit + (start-limit) r,
+  // where r = lr(t)/lr(0) decays from 1 to 0.
+  const f64 r = adam_.current_lr() / lr0_;
+  const f64 pe = loss_config_.pe_limit +
+                 (loss_config_.pe_start - loss_config_.pe_limit) * r;
+  const f64 pf = loss_config_.pf_limit +
+                 (loss_config_.pf_start - loss_config_.pf_limit) * r;
+  ag::Variable loss;
+  for (const EnvPtr& env : batch) {
+    auto pred = model_.predict(env, /*with_forces=*/true);
+    const f64 natoms = static_cast<f64>(env->natoms);
+    ag::Variable de = op::add_scalar(
+        pred.energy, static_cast<f32>(-env->energy_label));
+    ag::Variable loss_e = op::scale(
+        op::square(op::scale(de, static_cast<f32>(1.0 / natoms))),
+        static_cast<f32>(pe));
+    ag::Variable df =
+        op::sub(pred.forces, ag::Variable(env->force_label));
+    ag::Variable loss_f = op::scale(op::sum_all(op::square(df)),
+                                    static_cast<f32>(pf / (3.0 * natoms)));
+    ag::Variable sample = op::add(loss_e, loss_f);
+    loss = loss.defined() ? op::add(loss, sample) : sample;
+  }
+  return op::scale(loss, 1.0f / static_cast<f32>(batch.size()));
+}
+
+TrainResult AdamTrainer::train(std::span<const EnvPtr> train_envs,
+                               std::span<const EnvPtr> test_envs) {
+  std::vector<f64> weights(static_cast<std::size_t>(flat_.size()));
+  std::vector<f64> grads(static_cast<std::size_t>(flat_.size()));
+  flat_.gather(weights);
+  auto params = flat_.params();
+  return run_epochs(
+      model_, train_envs, test_envs, options_,
+      [&](std::span<const EnvPtr> batch) {
+        ag::Variable loss = batch_loss(batch);
+        auto g = ag::grad(loss, params);
+        flat_.gather_grads(g, grads);
+        adam_.step(grads, weights);
+        flat_.scatter(weights);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// KalmanTrainer
+// ---------------------------------------------------------------------------
+
+KalmanTrainer::KalmanTrainer(deepmd::DeepmdModel& model,
+                             optim::KalmanConfig kalman_config,
+                             TrainOptions options, EkfMode mode)
+    : model_(model),
+      flat_(model.parameters()),
+      options_(options),
+      mode_(mode) {
+  auto blocks = optim::split_blocks(model.parameter_layout(),
+                                    kalman_config.blocksize);
+  if (mode_ == EkfMode::kFekf) {
+    kalman_ = std::make_unique<optim::KalmanOptimizer>(std::move(blocks),
+                                                       kalman_config);
+  } else {
+    naive_ = std::make_unique<optim::NaiveEkf>(std::move(blocks),
+                                               kalman_config,
+                                               options.batch_size);
+  }
+  weights_.resize(static_cast<std::size_t>(flat_.size()));
+  grad_flat_.resize(static_cast<std::size_t>(flat_.size()));
+  flat_.gather(weights_);
+}
+
+void KalmanTrainer::apply_fekf(const Measurement& measurement,
+                               i64 batch_size, f64 step_norm_cap) {
+  auto params = flat_.params();
+  {
+    ScopedTimer timer(t_gradient_);
+    auto g = ag::grad(measurement.m, params);
+    flat_.gather_grads(g, grad_flat_);
+  }
+  {
+    ScopedTimer timer(t_optimizer_);
+    const f64 factor = options_.qlr_factor >= 0.0
+                           ? options_.qlr_factor
+                           : std::sqrt(static_cast<f64>(batch_size));
+    kalman_->update(grad_flat_, factor * measurement.abe, weights_,
+                    step_norm_cap, measurement.abe);
+    flat_.scatter(weights_);
+  }
+}
+
+void KalmanTrainer::apply_naive_sample(i64 slot,
+                                       const Measurement& measurement) {
+  auto params = flat_.params();
+  {
+    ScopedTimer timer(t_gradient_);
+    auto g = ag::grad(measurement.m, params);
+    flat_.gather_grads(g, grad_flat_);
+  }
+  {
+    ScopedTimer timer(t_optimizer_);
+    naive_->accumulate(slot, grad_flat_, measurement.abe);
+  }
+}
+
+void KalmanTrainer::energy_update(std::span<const EnvPtr> batch) {
+  if (mode_ == EkfMode::kFekf) {
+    Measurement m;
+    {
+      ScopedTimer timer(t_forward_);
+      m = energy_measurement(model_, batch);
+    }
+    // Energy updates are well-posed scalar Newton steps — run uncapped so
+    // large transient energy errors close in one or two updates.
+    apply_fekf(m, static_cast<i64>(batch.size()), /*step_norm_cap=*/0.0);
+    return;
+  }
+  for (std::size_t s = 0; s < batch.size(); ++s) {
+    Measurement m;
+    {
+      ScopedTimer timer(t_forward_);
+      m = energy_measurement(model_, batch.subspan(s, 1));
+    }
+    apply_naive_sample(static_cast<i64>(s), m);
+  }
+  ScopedTimer timer(t_optimizer_);
+  naive_->commit(weights_);
+  flat_.scatter(weights_);
+}
+
+void KalmanTrainer::force_update(std::span<const EnvPtr> batch,
+                                 std::span<const i64> group) {
+  if (mode_ == EkfMode::kFekf) {
+    Measurement m;
+    {
+      ScopedTimer timer(t_forward_);
+      m = force_measurement(model_, batch, group, options_.force_prefactor);
+    }
+    apply_fekf(m, static_cast<i64>(batch.size()),
+               std::numeric_limits<f64>::quiet_NaN());
+    return;
+  }
+  for (std::size_t s = 0; s < batch.size(); ++s) {
+    Measurement m;
+    {
+      ScopedTimer timer(t_forward_);
+      m = force_measurement(model_, batch.subspan(s, 1), group,
+                            options_.force_prefactor);
+    }
+    apply_naive_sample(static_cast<i64>(s), m);
+  }
+  ScopedTimer timer(t_optimizer_);
+  naive_->commit(weights_);
+  flat_.scatter(weights_);
+}
+
+TrainResult KalmanTrainer::train(std::span<const EnvPtr> train_envs,
+                                 std::span<const EnvPtr> test_envs) {
+  FEKF_CHECK(!train_envs.empty(), "empty training set");
+  Rng group_rng(options_.seed ^ 0x9e3779b9ULL);
+  const i64 natoms = train_envs.front()->natoms;
+  TrainResult result = run_epochs(
+      model_, train_envs, test_envs, options_,
+      [&](std::span<const EnvPtr> batch) {
+        energy_update(batch);
+        auto groups = make_force_groups(
+            natoms, options_.force_updates_per_step, group_rng);
+        for (const auto& group : groups) {
+          force_update(batch, group);
+        }
+      });
+  result.forward_seconds = t_forward_.total_seconds();
+  result.gradient_seconds = t_gradient_.total_seconds();
+  result.optimizer_seconds = t_optimizer_.total_seconds();
+  return result;
+}
+
+}  // namespace fekf::train

@@ -1,0 +1,322 @@
+// Autograd engine tests: analytic vs finite-difference gradients for every
+// op, double-backward correctness, fused-vs-composed equivalence, and tape
+// lifetime behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "autograd/ops.hpp"
+#include "autograd/variable.hpp"
+#include "core/rng.hpp"
+#include "tensor/kernel_counter.hpp"
+
+namespace fekf::ag {
+namespace {
+
+namespace op = ops;
+
+// Central finite difference of scalar_fn w.r.t. entry (r, c) of x.
+f64 numeric_grad(const std::function<f64(const Tensor&)>& scalar_fn, Tensor x,
+                 i64 r, i64 c, f64 eps = 1e-3) {
+  Tensor xp = x.clone();
+  Tensor xm = x.clone();
+  xp.at(r, c) += static_cast<f32>(eps);
+  xm.at(r, c) -= static_cast<f32>(eps);
+  return (scalar_fn(xp) - scalar_fn(xm)) / (2.0 * eps);
+}
+
+// Checks d(sum(f(x)))/dx against finite differences on every entry.
+void check_grad(const std::function<Variable(const Variable&)>& f,
+                const Tensor& x0, f64 tol = 5e-2) {
+  Variable x(x0.clone(), /*requires_grad=*/true);
+  Variable y = op::sum_all(f(x));
+  auto grads = grad(y, std::vector<Variable>{x});
+  ASSERT_EQ(grads.size(), 1u);
+  const Tensor& gx = grads[0].value();
+  auto scalar_fn = [&](const Tensor& xt) -> f64 {
+    NoGradGuard guard;
+    Variable xv(xt.clone(), true);  // requires_grad irrelevant under guard
+    return op::sum_all(f(xv)).item();
+  };
+  for (i64 r = 0; r < x0.rows(); ++r) {
+    for (i64 c = 0; c < x0.cols(); ++c) {
+      const f64 expected = numeric_grad(scalar_fn, x0, r, c);
+      EXPECT_NEAR(gx.at(r, c), expected, tol * (1.0 + std::abs(expected)))
+          << "entry (" << r << ", " << c << ")";
+    }
+  }
+}
+
+Tensor random_tensor(i64 r, i64 c, u64 seed, f64 scale = 1.0) {
+  Rng rng(seed);
+  return Tensor::randn(r, c, rng, scale);
+}
+
+TEST(Autograd, AddGrad) {
+  Tensor b = random_tensor(3, 4, 2);
+  check_grad([&](const Variable& x) { return op::add(x, Variable(b)); },
+             random_tensor(3, 4, 1));
+}
+
+TEST(Autograd, SubGrad) {
+  Tensor b = random_tensor(3, 4, 3);
+  check_grad([&](const Variable& x) { return op::sub(Variable(b), x); },
+             random_tensor(3, 4, 4));
+}
+
+TEST(Autograd, MulGrad) {
+  Tensor b = random_tensor(3, 4, 5);
+  check_grad([&](const Variable& x) { return op::mul(x, Variable(b)); },
+             random_tensor(3, 4, 6));
+}
+
+TEST(Autograd, SquareGrad) {
+  check_grad([](const Variable& x) { return op::square(x); },
+             random_tensor(2, 5, 7));
+}
+
+TEST(Autograd, TanhGrad) {
+  check_grad([](const Variable& x) { return op::tanh(x); },
+             random_tensor(3, 3, 8));
+}
+
+TEST(Autograd, TanhFusedGrad) {
+  check_grad([](const Variable& x) { return op::tanh_fused(x); },
+             random_tensor(3, 3, 8));
+}
+
+TEST(Autograd, TanhFusedMatchesComposed) {
+  Tensor x0 = random_tensor(4, 4, 9);
+  Variable x1(x0.clone(), true);
+  Variable x2(x0.clone(), true);
+  Variable y1 = op::sum_all(op::square(op::tanh(x1)));
+  Variable y2 = op::sum_all(op::square(op::tanh_fused(x2)));
+  EXPECT_FLOAT_EQ(y1.item(), y2.item());
+  auto g1 = grad(y1, std::vector<Variable>{x1});
+  auto g2 = grad(y2, std::vector<Variable>{x2});
+  for (i64 i = 0; i < x0.numel(); ++i) {
+    EXPECT_NEAR(g1[0].value().data()[i], g2[0].value().data()[i], 1e-6f);
+  }
+}
+
+TEST(Autograd, MatmulGrad) {
+  Tensor b = random_tensor(4, 2, 11);
+  check_grad([&](const Variable& x) { return op::matmul(x, Variable(b)); },
+             random_tensor(3, 4, 10));
+}
+
+TEST(Autograd, MatmulGradRhs) {
+  Tensor a = random_tensor(3, 4, 12);
+  check_grad([&](const Variable& x) { return op::matmul(Variable(a), x); },
+             random_tensor(4, 2, 13));
+}
+
+TEST(Autograd, MatmulNtGrad) {
+  Tensor b = random_tensor(5, 4, 14);
+  check_grad([&](const Variable& x) { return op::matmul_nt(x, Variable(b)); },
+             random_tensor(3, 4, 15));
+}
+
+TEST(Autograd, MatmulTnGrad) {
+  Tensor b = random_tensor(4, 5, 16);
+  check_grad([&](const Variable& x) { return op::matmul_tn(x, Variable(b)); },
+             random_tensor(4, 3, 17));
+}
+
+TEST(Autograd, TransposeGrad) {
+  Tensor b = random_tensor(4, 3, 18);
+  check_grad(
+      [&](const Variable& x) {
+        return op::mul(op::transpose(x), Variable(b));
+      },
+      random_tensor(3, 4, 19));
+}
+
+TEST(Autograd, LinearMatchesFused) {
+  Tensor x0 = random_tensor(6, 3, 20);
+  Tensor w0 = random_tensor(3, 4, 21);
+  Tensor b0 = random_tensor(1, 4, 22);
+  Variable x1(x0.clone(), true), w1(w0.clone(), true), bb1(b0.clone(), true);
+  Variable x2(x0.clone(), true), w2(w0.clone(), true), bb2(b0.clone(), true);
+  Variable y1 = op::sum_all(op::tanh(op::linear(x1, w1, bb1)));
+  Variable y2 = op::sum_all(op::tanh(op::linear_fused(x2, w2, bb2)));
+  EXPECT_NEAR(y1.item(), y2.item(), 1e-5f);
+  auto g1 = grad(y1, std::vector<Variable>{x1, w1, bb1});
+  auto g2 = grad(y2, std::vector<Variable>{x2, w2, bb2});
+  for (std::size_t v = 0; v < g1.size(); ++v) {
+    for (i64 i = 0; i < g1[v].numel(); ++i) {
+      EXPECT_NEAR(g1[v].value().data()[i], g2[v].value().data()[i], 1e-5f);
+    }
+  }
+}
+
+TEST(Autograd, SliceAndPadGrad) {
+  check_grad(
+      [](const Variable& x) {
+        return op::square(op::slice_cols(x, 1, 3));
+      },
+      random_tensor(3, 5, 23));
+  check_grad(
+      [](const Variable& x) { return op::square(op::pad_cols(x, 6, 2)); },
+      random_tensor(3, 2, 24));
+}
+
+TEST(Autograd, RowSliceConcatGrad) {
+  Tensor b = random_tensor(2, 4, 25);
+  check_grad(
+      [&](const Variable& x) {
+        Variable top = op::slice_rows(x, 0, 2);
+        Variable cat = op::concat_rows(top, Variable(b));
+        return op::square(cat);
+      },
+      random_tensor(5, 4, 26));
+}
+
+TEST(Autograd, ReductionGrads) {
+  check_grad([](const Variable& x) { return op::sum_rows(op::square(x)); },
+             random_tensor(4, 3, 27));
+  check_grad([](const Variable& x) { return op::sum_cols(op::square(x)); },
+             random_tensor(4, 3, 28));
+  check_grad([](const Variable& x) { return op::mean_all(op::square(x)); },
+             random_tensor(4, 3, 29));
+}
+
+TEST(Autograd, BroadcastGrads) {
+  check_grad(
+      [](const Variable& x) { return op::square(op::broadcast_rows(x, 5)); },
+      random_tensor(1, 4, 30));
+  check_grad(
+      [](const Variable& x) { return op::square(op::broadcast_cols(x, 5)); },
+      random_tensor(4, 1, 31));
+}
+
+TEST(Autograd, ReshapeGrad) {
+  check_grad(
+      [](const Variable& x) { return op::square(op::reshape(x, 2, 6)); },
+      random_tensor(3, 4, 32));
+}
+
+// Double backward: d/dx of (dy/dx) for y = sum(tanh(x)^2).
+// Analytic: dy/dx = 2 t (1-t^2); d2y/dx2 = 2(1-t^2)(1-3t^2), t = tanh(x).
+TEST(Autograd, DoubleBackwardTanh) {
+  for (const bool fused : {false, true}) {
+    Tensor x0 = random_tensor(3, 3, 33);
+    Variable x(x0.clone(), true);
+    Variable t = fused ? op::tanh_fused(x) : op::tanh(x);
+    Variable y = op::sum_all(op::square(t));
+    auto g = grad(y, std::vector<Variable>{x}, {}, /*create_graph=*/true);
+    Variable gsum = op::sum_all(g[0]);
+    auto gg = grad(gsum, std::vector<Variable>{x});
+    for (i64 i = 0; i < x0.numel(); ++i) {
+      const f64 tv = std::tanh(static_cast<f64>(x0.data()[i]));
+      const f64 expected = 2.0 * (1 - tv * tv) * (1 - 3 * tv * tv);
+      EXPECT_NEAR(gg[0].value().data()[i], expected, 1e-4)
+          << (fused ? "fused" : "composed") << " i=" << i;
+    }
+  }
+}
+
+// Double backward through matmul: y = sum((x w)^2); g = 2 x w w^T;
+// sum(g) differentiated w.r.t. w again.
+TEST(Autograd, DoubleBackwardMatmul) {
+  Tensor x0 = random_tensor(3, 2, 34);
+  Tensor w0 = random_tensor(2, 2, 35);
+  Variable x(x0.clone(), false);
+  Variable w(w0.clone(), true);
+  Variable y = op::sum_all(op::square(op::matmul(x, w)));
+  auto g = grad(y, std::vector<Variable>{w}, {}, /*create_graph=*/true);
+  Variable gsum = op::sum_all(g[0]);
+  auto gg = grad(gsum, std::vector<Variable>{w});
+  // Finite difference of gsum(w).
+  auto gsum_fn = [&](const Tensor& wt) -> f64 {
+    Variable wv(wt.clone(), true);
+    Variable yy = op::sum_all(op::square(op::matmul(Variable(x0), wv)));
+    auto gv = grad(yy, std::vector<Variable>{wv});
+    f64 acc = 0.0;
+    for (i64 i = 0; i < gv[0].numel(); ++i) acc += gv[0].value().data()[i];
+    return acc;
+  };
+  for (i64 r = 0; r < 2; ++r) {
+    for (i64 c = 0; c < 2; ++c) {
+      const f64 expected = numeric_grad(gsum_fn, w0, r, c);
+      EXPECT_NEAR(gg[0].value().data()[r * 2 + c], expected,
+                  5e-2 * (1.0 + std::abs(expected)));
+    }
+  }
+}
+
+TEST(Autograd, GradOfUnusedInputIsZero) {
+  Variable x(random_tensor(2, 2, 36), true);
+  Variable unused(random_tensor(3, 3, 37), true);
+  Variable y = op::sum_all(op::square(x));
+  auto g = grad(y, std::vector<Variable>{x, unused});
+  for (i64 i = 0; i < unused.numel(); ++i) {
+    EXPECT_EQ(g[1].value().data()[i], 0.0f);
+  }
+}
+
+TEST(Autograd, SharedSubexpressionAccumulates) {
+  // y = sum(x*x + x*x) should give 4x, exercising gradient accumulation
+  // when one variable feeds two consumers.
+  Tensor x0 = random_tensor(2, 3, 38);
+  Variable x(x0.clone(), true);
+  Variable sq = op::square(x);
+  Variable y = op::sum_all(op::add(sq, sq));
+  auto g = grad(y, std::vector<Variable>{x});
+  for (i64 i = 0; i < x0.numel(); ++i) {
+    EXPECT_NEAR(g[0].value().data()[i], 4.0f * x0.data()[i], 1e-5f);
+  }
+}
+
+TEST(Autograd, NoGradGuardDisablesTape) {
+  Variable x(random_tensor(2, 2, 39), true);
+  NoGradGuard guard;
+  Variable y = op::square(x);
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_EQ(y.node(), nullptr);
+}
+
+TEST(Autograd, ConstantsProduceNoNode) {
+  Variable a(random_tensor(2, 2, 40), false);
+  Variable b(random_tensor(2, 2, 41), false);
+  Variable y = op::mul(a, b);
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_EQ(y.node(), nullptr);
+}
+
+TEST(Autograd, FusedLinearLaunchesFewerKernels) {
+  Variable x(random_tensor(8, 4, 42), true);
+  Variable w(random_tensor(4, 4, 43), true);
+  Variable b(random_tensor(1, 4, 44), true);
+  i64 composed = 0, fused = 0;
+  {
+    KernelCountScope scope;
+    (void)op::linear(x, w, b);
+    composed = scope.count();
+  }
+  {
+    KernelCountScope scope;
+    (void)op::linear_fused(x, w, b);
+    fused = scope.count();
+  }
+  EXPECT_EQ(fused, 1);
+  EXPECT_GT(composed, fused);
+}
+
+TEST(Autograd, GradRootSeed) {
+  // grad with an explicit non-unit seed scales linearly.
+  Variable x(random_tensor(2, 2, 45), true);
+  Variable y = op::sum_all(op::square(x));
+  Variable seed(Tensor::scalar(3.0f));
+  auto g1 = grad(y, std::vector<Variable>{x});
+  auto g3 = grad(y, std::vector<Variable>{x}, seed);
+  for (i64 i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(g3[0].value().data()[i], 3.0f * g1[0].value().data()[i],
+                1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace fekf::ag

@@ -1,0 +1,180 @@
+// Fused batched-block matmul ops: value checks against per-block reference
+// matmuls, gradient checks against finite differences, double-backward
+// (the descriptor derivative chain of Fig. 6 relies on it), and launch
+// accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.hpp"
+#include "core/rng.hpp"
+#include "deepmd/bmm.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/kernel_counter.hpp"
+
+namespace fekf::deepmd {
+namespace {
+
+namespace op = ag::ops;
+
+Tensor rand_t(i64 r, i64 c, u64 seed) {
+  Rng rng(seed);
+  return Tensor::randn(r, c, rng);
+}
+
+// Reference: per-block result built from the single-matrix primitives.
+Tensor ref_bmm_tn(const Tensor& x, const Tensor& y, i64 q) {
+  const i64 nb = x.rows() / q;
+  Tensor out;
+  for (i64 b = 0; b < nb; ++b) {
+    Tensor xb = fekf::kernels::slice_rows(x, b * q, (b + 1) * q);
+    Tensor yb = fekf::kernels::slice_rows(y, b * q, (b + 1) * q);
+    Tensor ob = fekf::kernels::matmul_tn(xb, yb);
+    out = b == 0 ? ob : fekf::kernels::concat_rows(out, ob);
+  }
+  return out;
+}
+
+TEST(Bmm, ValuesMatchPerBlockReference) {
+  Tensor x = rand_t(3 * 5, 4, 1);  // 3 blocks of 5x4
+  Tensor y = rand_t(3 * 5, 2, 2);
+  Tensor fused = bmm_tn(ag::Variable(x), ag::Variable(y), 5).value();
+  Tensor ref = ref_bmm_tn(x, y, 5);
+  ASSERT_TRUE(fused.same_shape(ref));
+  for (i64 i = 0; i < ref.numel(); ++i) {
+    EXPECT_NEAR(fused.data()[i], ref.data()[i], 1e-5);
+  }
+}
+
+TEST(Bmm, NnAndNtConsistency) {
+  // bmm_nn(X, Y) == bmm_nt(X, Y^T-per-block): check via transposed blocks.
+  Tensor x = rand_t(2 * 3, 4, 3);  // blocks 3x4
+  Tensor y = rand_t(2 * 4, 5, 4);  // blocks 4x5
+  Tensor nn = bmm_nn(ag::Variable(x), ag::Variable(y), 3).value();
+  // Build Y with transposed blocks: (2*5) x 4.
+  Tensor yt(2 * 5, 4);
+  for (i64 b = 0; b < 2; ++b) {
+    for (i64 i = 0; i < 4; ++i) {
+      for (i64 j = 0; j < 5; ++j) {
+        yt.at(b * 5 + j, i) = y.at(b * 4 + i, j);
+      }
+    }
+  }
+  Tensor nt = bmm_nt(ag::Variable(x), ag::Variable(yt), 3, 5).value();
+  for (i64 i = 0; i < nn.numel(); ++i) {
+    EXPECT_NEAR(nn.data()[i], nt.data()[i], 1e-5);
+  }
+}
+
+template <typename Fn>
+void check_grad_wrt(const Tensor& x0, Fn&& scalar_of, f64 tol = 5e-2) {
+  ag::Variable x(x0.clone(), true);
+  ag::Variable y = scalar_of(x);
+  auto g = ag::grad(y, std::vector<ag::Variable>{x});
+  Rng rng(9);
+  for (int trial = 0; trial < 6; ++trial) {
+    const i64 idx =
+        static_cast<i64>(rng.uniform_index(static_cast<u64>(x0.numel())));
+    const f64 eps = 1e-3;
+    Tensor xp = x0.clone(), xm = x0.clone();
+    xp.data()[idx] += static_cast<f32>(eps);
+    xm.data()[idx] -= static_cast<f32>(eps);
+    ag::NoGradGuard guard;
+    const f64 numeric = (scalar_of(ag::Variable(xp, true)).item() -
+                         scalar_of(ag::Variable(xm, true)).item()) /
+                        (2 * eps);
+    EXPECT_NEAR(g[0].value().data()[idx], numeric,
+                tol * (1.0 + std::abs(numeric)));
+  }
+}
+
+TEST(Bmm, GradientsTn) {
+  Tensor y = rand_t(2 * 4, 3, 11);
+  check_grad_wrt(rand_t(2 * 4, 5, 10), [&](const ag::Variable& x) {
+    return op::sum_all(op::square(bmm_tn(x, ag::Variable(y), 4)));
+  });
+}
+
+TEST(Bmm, GradientsNn) {
+  Tensor y = rand_t(2 * 5, 3, 13);
+  check_grad_wrt(rand_t(2 * 4, 5, 12), [&](const ag::Variable& x) {
+    return op::sum_all(op::square(bmm_nn(x, ag::Variable(y), 4)));
+  });
+}
+
+TEST(Bmm, GradientsNt) {
+  Tensor y = rand_t(2 * 6, 5, 15);
+  check_grad_wrt(rand_t(2 * 4, 5, 14), [&](const ag::Variable& x) {
+    return op::sum_all(op::square(bmm_nt(x, ag::Variable(y), 4, 6)));
+  });
+}
+
+TEST(Bmm, GradientsBlockSlice) {
+  check_grad_wrt(rand_t(3 * 6, 4, 16), [&](const ag::Variable& x) {
+    return op::sum_all(op::square(block_slice_rows(x, 6, 1, 4)));
+  });
+  check_grad_wrt(rand_t(3 * 2, 4, 17), [&](const ag::Variable& x) {
+    return op::sum_all(op::square(block_pad_rows(x, 6, 2, 3)));
+  });
+}
+
+TEST(Bmm, DoubleBackwardThroughDescriptorShape) {
+  // The descriptor pattern D = A A_<^T with A = G^T R per block, then
+  // grad-of-grad w.r.t. G — the exact chain the force loss differentiates.
+  const i64 nb = 2, sel = 5, m = 4, axis = 2;
+  Tensor g0 = rand_t(nb * sel, m, 18);
+  Tensor r0 = rand_t(nb * sel, 4, 19);
+  ag::Variable g_var(g0.clone(), true);
+  ag::Variable r_var(r0.clone(), true);
+  ag::Variable a = bmm_tn(g_var, r_var, sel);
+  ag::Variable a_axis = block_slice_rows(a, m, 0, axis);
+  ag::Variable d = bmm_nt(a, a_axis, m, axis);
+  ag::Variable e = op::sum_all(op::square(d));
+  auto grad_r = ag::grad(e, std::vector<ag::Variable>{r_var}, {},
+                         /*create_graph=*/true);
+  ag::Variable m_sum = op::sum_all(grad_r[0]);
+  auto gg = ag::grad(m_sum, std::vector<ag::Variable>{g_var});
+
+  // Finite difference of sum(dE/dR) w.r.t. an entry of G.
+  auto msum_of = [&](const Tensor& gt) -> f64 {
+    ag::Variable gv(gt.clone(), true);
+    ag::Variable rv(r0.clone(), true);
+    ag::Variable a2 = bmm_tn(gv, rv, sel);
+    ag::Variable d2 = bmm_nt(a2, block_slice_rows(a2, m, 0, axis), m, axis);
+    ag::Variable e2 = op::sum_all(op::square(d2));
+    auto gr = ag::grad(e2, std::vector<ag::Variable>{rv});
+    f64 acc = 0.0;
+    for (i64 i = 0; i < gr[0].numel(); ++i) acc += gr[0].value().data()[i];
+    return acc;
+  };
+  Rng rng(20);
+  for (int trial = 0; trial < 3; ++trial) {
+    const i64 idx =
+        static_cast<i64>(rng.uniform_index(static_cast<u64>(g0.numel())));
+    const f64 eps = 2e-3;
+    Tensor gp = g0.clone(), gm = g0.clone();
+    gp.data()[idx] += static_cast<f32>(eps);
+    gm.data()[idx] -= static_cast<f32>(eps);
+    const f64 numeric = (msum_of(gp) - msum_of(gm)) / (2 * eps);
+    EXPECT_NEAR(gg[0].value().data()[idx], numeric,
+                8e-2 * (1.0 + std::abs(numeric)));
+  }
+}
+
+TEST(Bmm, SingleLaunchPerOp) {
+  ag::Variable x(rand_t(4 * 3, 2, 21));
+  ag::Variable y(rand_t(4 * 3, 5, 22));
+  KernelCountScope scope;
+  (void)bmm_tn(x, y, 3);
+  EXPECT_EQ(scope.count(), 1);
+}
+
+TEST(Bmm, RejectsBadBlockHeights) {
+  ag::Variable x(rand_t(10, 2, 23));
+  ag::Variable y(rand_t(10, 3, 24));
+  EXPECT_THROW(bmm_tn(x, y, 3), Error);  // 10 % 3 != 0
+  EXPECT_THROW(block_slice_rows(x, 5, 2, 7), Error);
+}
+
+}  // namespace
+}  // namespace fekf::deepmd

@@ -1,0 +1,295 @@
+// MD substrate tests: neighbor-list invariants, analytic-vs-numeric forces
+// for every teacher potential, NVE energy conservation, Langevin
+// thermostatting, and lattice builders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/rng.hpp"
+#include "md/bonded.hpp"
+#include "md/coulomb.hpp"
+#include "md/eam.hpp"
+#include "md/langevin.hpp"
+#include "md/lattice.hpp"
+#include "md/pair.hpp"
+#include "md/sampler.hpp"
+#include "md/sw.hpp"
+#include "md/units.hpp"
+
+namespace fekf::md {
+namespace {
+
+void jiggle(Structure& s, f64 amplitude, u64 seed) {
+  Rng rng(seed);
+  for (auto& p : s.positions) {
+    p += Vec3{rng.uniform(-amplitude, amplitude),
+              rng.uniform(-amplitude, amplitude),
+              rng.uniform(-amplitude, amplitude)};
+    p = s.cell.wrap(p);
+  }
+}
+
+f64 energy_of(const Potential& pot, const Structure& s) {
+  return evaluate(pot, s.positions, s.types, s.cell).energy;
+}
+
+// Property: analytic forces match central finite differences of the energy
+// on a handful of randomly chosen atoms/directions.
+void check_forces(const Potential& pot, const Structure& s, f64 tol,
+                  u64 seed = 99) {
+  EnergyForces ef = evaluate(pot, s.positions, s.types, s.cell);
+  Rng rng(seed);
+  const f64 eps = 1e-5;
+  for (int trial = 0; trial < 12; ++trial) {
+    const i64 atom = static_cast<i64>(rng.uniform_index(
+        static_cast<u64>(s.natoms())));
+    const int axis = static_cast<int>(rng.uniform_index(3));
+    Structure sp = s;
+    Structure sm = s;
+    auto& cp = sp.positions[static_cast<std::size_t>(atom)];
+    auto& cm = sm.positions[static_cast<std::size_t>(atom)];
+    (axis == 0 ? cp.x : axis == 1 ? cp.y : cp.z) += eps;
+    (axis == 0 ? cm.x : axis == 1 ? cm.y : cm.z) -= eps;
+    const f64 numeric = -(energy_of(pot, sp) - energy_of(pot, sm)) / (2 * eps);
+    const Vec3& f = ef.forces[static_cast<std::size_t>(atom)];
+    const f64 analytic = axis == 0 ? f.x : axis == 1 ? f.y : f.z;
+    EXPECT_NEAR(analytic, numeric, tol * (1.0 + std::abs(numeric)))
+        << "atom " << atom << " axis " << axis;
+  }
+}
+
+TEST(Neighbor, SymmetricAndSorted) {
+  Structure s = make_fcc(3.6, 2, 2, 2);
+  jiggle(s, 0.1, 7);
+  NeighborList nl;
+  nl.build(s.positions, s.cell, 5.0);
+  for (i64 i = 0; i < s.natoms(); ++i) {
+    f64 prev = 0.0;
+    for (const Neighbor& nb : nl.of(i)) {
+      EXPECT_GE(nb.r, prev);  // sorted by distance
+      prev = nb.r;
+      EXPECT_NEAR(nb.r, nb.d.norm(), 1e-12);
+      EXPECT_LT(nb.r, 5.0);
+    }
+    // Mirror property: i sees j as often as j sees i.
+    for (i64 j = 0; j < s.natoms(); ++j) {
+      i64 ij = 0, ji = 0;
+      for (const Neighbor& nb : nl.of(i)) ij += nb.index == j;
+      for (const Neighbor& nb : nl.of(j)) ji += nb.index == i;
+      EXPECT_EQ(ij, ji) << i << " " << j;
+    }
+  }
+}
+
+TEST(Neighbor, SelfImagesAppearInSmallCells) {
+  // One atom in a 3 Å box with a 5 Å cutoff must see its own images.
+  Structure s;
+  s.cell = Cell(3.0, 3.0, 3.0);
+  s.positions = {Vec3{1.0, 1.0, 1.0}};
+  s.types = {0};
+  NeighborList nl;
+  nl.build(s.positions, s.cell, 5.0);
+  EXPECT_GT(nl.of(0).size(), 0u);
+  for (const Neighbor& nb : nl.of(0)) EXPECT_EQ(nb.index, 0);
+}
+
+TEST(Neighbor, CountMatchesBruteForceShell) {
+  // In a perfect FCC crystal the first shell has 12 neighbors.
+  Structure s = make_fcc(3.6, 3, 3, 3);
+  NeighborList nl;
+  nl.build(s.positions, s.cell, 3.6 / std::sqrt(2.0) + 0.1);
+  for (i64 i = 0; i < s.natoms(); ++i) {
+    EXPECT_EQ(nl.of(i).size(), 12u);
+  }
+}
+
+TEST(Lattice, AtomCounts) {
+  EXPECT_EQ(make_fcc(3.6, 3, 3, 3).natoms(), 108);   // paper Cu
+  EXPECT_EQ(make_fcc(4.05, 2, 2, 2).natoms(), 32);   // paper Al
+  EXPECT_EQ(make_hcp(3.21, 5.21, 3, 1, 3).natoms(), 36);  // paper Mg
+  EXPECT_EQ(make_diamond(5.43, 2, 2, 2).natoms(), 64);
+  EXPECT_EQ(make_rocksalt(5.64, 2, 2, 2, 0, 1).natoms(), 64);  // paper NaCl
+  EXPECT_EQ(make_fluorite(5.08, 2, 2, 2, 0, 1).natoms(), 96);
+  Rng rng(3);
+  EXPECT_EQ(make_water_box(3.2, 2, 2, 4, rng).natoms(), 48);  // paper H2O
+}
+
+TEST(Lattice, MinimumDistanceSane) {
+  Rng rng(4);
+  const Structure boxes[] = {make_fcc(3.6, 2, 2, 2),
+                             make_diamond(5.43, 2, 2, 2),
+                             make_rocksalt(5.64, 2, 2, 2, 0, 1),
+                             make_fluorite(5.08, 2, 2, 2, 0, 1),
+                             make_water_box(3.2, 2, 2, 2, rng)};
+  for (const Structure& s : boxes) {
+    NeighborList nl;
+    nl.build(s.positions, s.cell, 4.0);
+    f64 min_r = 1e30;
+    for (i64 i = 0; i < s.natoms(); ++i) {
+      for (const Neighbor& nb : nl.of(i)) min_r = std::min(min_r, nb.r);
+    }
+    EXPECT_GT(min_r, 0.8);
+  }
+}
+
+TEST(Forces, LennardJones) {
+  Structure s = make_fcc(3.6, 2, 2, 2);
+  jiggle(s, 0.15, 11);
+  LennardJones lj(1, 5.5);
+  lj.set_pair(0, 0, {0.2, 2.3});
+  check_forces(lj, s, 1e-4);
+}
+
+TEST(Forces, Morse) {
+  Structure s = make_rocksalt(4.3, 2, 2, 2, 0, 1);
+  jiggle(s, 0.12, 12);
+  Morse morse(2, 5.5);
+  morse.set_pair(0, 1, {0.8, 1.8, 2.1});
+  morse.set_pair(0, 0, {0.1, 1.5, 2.8});
+  morse.set_pair(1, 1, {0.1, 1.5, 2.8});
+  check_forces(morse, s, 1e-4);
+}
+
+TEST(Forces, BornMayerPlusWolf) {
+  Structure s = make_rocksalt(5.64, 2, 2, 2, 0, 1);
+  jiggle(s, 0.1, 13);
+  CompositePotential pot;
+  auto bm = std::make_unique<BornMayer>(2, 6.0);
+  bm->set_pair(0, 1, {1200.0, 0.32, 0.0});
+  bm->set_pair(0, 0, {420.0, 0.32, 1.05});
+  bm->set_pair(1, 1, {3500.0, 0.32, 72.4});
+  pot.add(std::move(bm));
+  pot.add(std::make_unique<WolfCoulomb>(std::vector<f64>{1.0, -1.0}, 6.0));
+  check_forces(pot, s, 1e-3);
+}
+
+TEST(Forces, SuttonChenCopper) {
+  Structure s = make_fcc(3.615, 2, 2, 2);
+  jiggle(s, 0.15, 14);
+  SuttonChen sc({0.012382, 3.615, 39.432, 9.0, 6.0}, 6.0);
+  check_forces(sc, s, 1e-4);
+}
+
+TEST(Forces, StillingerWeberSilicon) {
+  Structure s = make_diamond(5.43, 2, 2, 2);
+  jiggle(s, 0.12, 15);
+  StillingerWeber sw;
+  check_forces(sw, s, 1e-4);
+}
+
+TEST(Forces, WaterComposite) {
+  Rng rng(16);
+  Structure s = make_water_box(3.2, 2, 2, 2, rng);
+  jiggle(s, 0.05, 17);
+  const i64 nmol = s.natoms() / 3;
+  std::vector<Bond> bonds;
+  std::vector<Angle> angles;
+  std::vector<i32> mols(static_cast<std::size_t>(s.natoms()));
+  for (i64 m = 0; m < nmol; ++m) {
+    const i32 o = static_cast<i32>(3 * m);
+    bonds.push_back({o, o + 1, 45.9, 0.9572});
+    bonds.push_back({o, o + 2, 45.9, 0.9572});
+    angles.push_back({o + 1, o, o + 2, 3.29, 104.52 * std::numbers::pi / 180});
+    mols[static_cast<std::size_t>(o)] = mols[static_cast<std::size_t>(o + 1)] =
+        mols[static_cast<std::size_t>(o + 2)] = static_cast<i32>(m);
+  }
+  CompositePotential pot;
+  pot.add(std::make_unique<BondedTerms>(bonds, angles));
+  auto lj = std::make_unique<LennardJones>(2, 6.0);
+  lj->set_pair(0, 0, {0.00674, 3.166});
+  lj->set_molecules(mols);
+  pot.add(std::move(lj));
+  auto coul =
+      std::make_unique<WolfCoulomb>(std::vector<f64>{-0.82, 0.41}, 6.0);
+  coul->set_molecules(mols);
+  pot.add(std::move(coul));
+  check_forces(pot, s, 2e-3);
+}
+
+TEST(Forces, NetForceIsZero) {
+  // Translational invariance: forces sum to ~0 for all teachers.
+  Structure s = make_fcc(3.615, 2, 2, 2);
+  jiggle(s, 0.2, 18);
+  SuttonChen sc({0.012382, 3.615, 39.432, 9.0, 6.0}, 6.0);
+  EnergyForces ef = evaluate(sc, s.positions, s.types, s.cell);
+  Vec3 total{};
+  for (const Vec3& f : ef.forces) total += f;
+  EXPECT_NEAR(total.norm(), 0.0, 1e-9);
+}
+
+TEST(Langevin, NveConservesEnergy) {
+  Structure s = make_fcc(3.615, 2, 2, 2);
+  SuttonChen sc({0.012382, 3.615, 39.432, 9.0, 6.0}, 6.0);
+  System sys{s.cell, s.positions, {}, s.types,
+             std::vector<f64>(static_cast<std::size_t>(s.natoms()), 63.546)};
+  LangevinIntegrator nve(sc, {1.0, 300.0, 0.0});
+  Rng rng(20);
+  nve.initialize_velocities(sys, rng);
+  const f64 e0 = evaluate(sc, sys.positions, sys.types, sys.cell).energy +
+                 LangevinIntegrator::kinetic_energy(sys);
+  const f64 pe = nve.run(sys, 200, rng);
+  const f64 e1 = pe + LangevinIntegrator::kinetic_energy(sys);
+  EXPECT_NEAR(e0, e1, 5e-3 * std::abs(e0) + 1e-3);
+}
+
+TEST(Langevin, ThermostatsToTarget) {
+  Structure s = make_fcc(3.615, 2, 2, 2);
+  SuttonChen sc({0.012382, 3.615, 39.432, 9.0, 6.0}, 6.0);
+  System sys{s.cell, s.positions, {}, s.types,
+             std::vector<f64>(static_cast<std::size_t>(s.natoms()), 63.546)};
+  LangevinIntegrator thermo(sc, {2.0, 600.0, 0.05});
+  Rng rng(21);
+  thermo.initialize_velocities(sys, rng);
+  thermo.run(sys, 300, rng);
+  // Average over a window to beat kinetic-temperature fluctuations.
+  f64 t_acc = 0.0;
+  const int windows = 30;
+  for (int w = 0; w < windows; ++w) {
+    thermo.run(sys, 10, rng);
+    t_acc += LangevinIntegrator::kinetic_temperature(sys);
+  }
+  const f64 t_mean = t_acc / windows;
+  EXPECT_NEAR(t_mean, 600.0, 150.0);
+}
+
+TEST(Sampler, ProducesLabelledSnapshots) {
+  Structure s = make_fcc(3.615, 2, 2, 2);
+  SuttonChen sc({0.012382, 3.615, 39.432, 9.0, 6.0}, 6.0);
+  SamplerConfig cfg;
+  cfg.temperatures = {300.0, 600.0};
+  cfg.equilibration_steps = 20;
+  cfg.stride = 2;
+  cfg.snapshots_per_temperature = 5;
+  Rng rng(22);
+  const f64 masses[] = {63.546};
+  auto snaps = sample_trajectory(sc, s, masses, cfg, rng);
+  ASSERT_EQ(snaps.size(), 10u);
+  for (const Snapshot& snap : snaps) {
+    EXPECT_EQ(snap.natoms(), s.natoms());
+    EXPECT_EQ(snap.forces.size(), snap.positions.size());
+    EXPECT_TRUE(std::isfinite(snap.energy));
+  }
+  // Different temperatures should yield distinct configurations/energies.
+  EXPECT_NE(snaps.front().energy, snaps.back().energy);
+}
+
+TEST(Sampler, DeterministicGivenSeed) {
+  Structure s = make_fcc(3.615, 2, 2, 2);
+  SuttonChen sc({0.012382, 3.615, 39.432, 9.0, 6.0}, 6.0);
+  SamplerConfig cfg;
+  cfg.temperatures = {400.0};
+  cfg.equilibration_steps = 5;
+  cfg.snapshots_per_temperature = 3;
+  const f64 masses[] = {63.546};
+  Rng rng1(23), rng2(23);
+  auto a = sample_trajectory(sc, s, masses, cfg, rng1);
+  auto b = sample_trajectory(sc, s, masses, cfg, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].energy, b[i].energy);
+  }
+}
+
+}  // namespace
+}  // namespace fekf::md

@@ -1,0 +1,371 @@
+// Optimizer tests: RLEKF block gather/split layout (including the paper's
+// {1350, 10240, 9760, ...} network), Kalman-filter convergence on linear
+// regression, equivalence of the fused/unfused P-update kernels and of the
+// Pg-caching toggle, covariance-limiting guards, Adam on a quadratic, and
+// the Naive-EKF memory/commit accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/rng.hpp"
+#include "optim/adam.hpp"
+#include "optim/ekf_blocks.hpp"
+#include "optim/kalman.hpp"
+#include "optim/naive_ekf.hpp"
+#include "tensor/kernel_counter.hpp"
+#include "tensor/kernels.hpp"
+
+namespace fekf::optim {
+namespace {
+
+using Layout = std::vector<std::pair<std::string, i64>>;
+
+TEST(Blocks, GatherSmallLayers) {
+  Layout layout = {{"a", 100}, {"b", 200}, {"c", 300}};
+  auto blocks = split_blocks(layout, 1000);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].size, 600);
+  EXPECT_EQ(blocks[0].offset, 0);
+}
+
+TEST(Blocks, FlushWhenBudgetExceeded) {
+  Layout layout = {{"a", 600}, {"b", 600}, {"c", 600}};
+  auto blocks = split_blocks(layout, 1000);
+  ASSERT_EQ(blocks.size(), 3u);
+  for (const auto& b : blocks) EXPECT_EQ(b.size, 600);
+}
+
+TEST(Blocks, SplitLargeLayerBlocksizeFirst) {
+  Layout layout = {{"big", 2500}};
+  auto blocks = split_blocks(layout, 1000);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].size, 1000);
+  EXPECT_EQ(blocks[1].size, 1000);
+  EXPECT_EQ(blocks[2].size, 500);
+}
+
+TEST(Blocks, ChunksAreClosedToLaterLayers) {
+  // A small layer after a split must start a new group, not merge into the
+  // remainder chunk (the paper keeps 9760 standalone).
+  Layout layout = {{"big", 1500}, {"small", 100}};
+  auto blocks = split_blocks(layout, 1000);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[1].size, 500);
+  EXPECT_EQ(blocks[2].size, 100);
+}
+
+TEST(Blocks, PaperNetworkLayout) {
+  // The paper's one-element DeePMD network (§5.3): embedding 50+650+650,
+  // fitting 20000 (w) + 50 (b) + 2550 + 2550 + 51. With blocksize 10240
+  // this reproduces the reported {1350, 10240, 9760, ...} structure.
+  Layout layout = {{"e0.w", 25},    {"e0.b", 25},   {"e1.w", 625},
+                   {"e1.b", 25},    {"e2.w", 625},  {"e2.b", 25},
+                   {"f0.w", 20000}, {"f0.b", 50},   {"f1.w", 2500},
+                   {"f1.b", 50},    {"f2.w", 2500}, {"f2.b", 50},
+                   {"f3.w", 50},    {"f3.b", 1}};
+  auto blocks = split_blocks(layout, 10240);
+  ASSERT_EQ(blocks.size(), 4u);
+  EXPECT_EQ(blocks[0].size, 1350);   // gathered embedding net
+  EXPECT_EQ(blocks[1].size, 10240);  // first chunk of the split f0.w
+  EXPECT_EQ(blocks[2].size, 9760);   // remainder chunk
+  EXPECT_EQ(blocks[3].size, 5201);   // gathered tail of the fitting net
+  // Blocks tile the parameter vector.
+  i64 total = 0;
+  for (const auto& b : blocks) {
+    EXPECT_EQ(b.offset, total);
+    total += b.size;
+  }
+  EXPECT_EQ(total, 26551);
+}
+
+// EKF on a linear measurement y = x^T w* converges to w* (RLS is exact for
+// linear models).
+TEST(Kalman, ConvergesOnLinearRegression) {
+  const i64 n = 24;
+  Rng rng(7);
+  std::vector<f64> w_true(n), w(n, 0.0), g(n);
+  for (auto& v : w_true) v = rng.gaussian();
+
+  KalmanConfig cfg;
+  cfg.process_noise = 0.0;  // static parameters: textbook RLS
+  cfg.max_step_norm = 0.0;
+  auto blocks = split_blocks(Layout{{"w", n}}, 64);
+  KalmanOptimizer kal(blocks, cfg);
+  for (int step = 0; step < 200; ++step) {
+    for (i64 i = 0; i < n; ++i) g[i] = rng.gaussian();
+    f64 y = 0.0, h = 0.0;
+    for (i64 i = 0; i < n; ++i) {
+      y += g[i] * w_true[i];
+      h += g[i] * w[i];
+    }
+    // Sign-flip scalarization of a single scalar measurement.
+    f64 err = y - h;
+    if (err < 0) {
+      err = -err;
+      for (auto& v : g) v = -v;
+    }
+    kal.update(g, err, w);
+  }
+  for (i64 i = 0; i < n; ++i) {
+    EXPECT_NEAR(w[i], w_true[i], 5e-2) << "i=" << i;
+  }
+}
+
+TEST(Kalman, BlockSplitStillConverges) {
+  // Same regression split across 3 covariance blocks.
+  const i64 n = 30;
+  Rng rng(8);
+  std::vector<f64> w_true(n), w(n, 0.0), g(n);
+  for (auto& v : w_true) v = rng.gaussian();
+  KalmanConfig cfg;
+  cfg.process_noise = 0.0;
+  cfg.max_step_norm = 0.0;
+  auto blocks = split_blocks(Layout{{"a", 10}, {"b", 10}, {"c", 10}}, 10);
+  ASSERT_EQ(blocks.size(), 3u);
+  KalmanOptimizer kal(blocks, cfg);
+  for (int step = 0; step < 400; ++step) {
+    for (i64 i = 0; i < n; ++i) g[i] = rng.gaussian();
+    f64 err = 0.0;
+    for (i64 i = 0; i < n; ++i) err += g[i] * (w_true[i] - w[i]);
+    if (err < 0) {
+      err = -err;
+      for (auto& v : g) v = -v;
+    }
+    kal.update(g, err, w);
+  }
+  f64 mse = 0.0;
+  for (i64 i = 0; i < n; ++i) mse += (w[i] - w_true[i]) * (w[i] - w_true[i]);
+  EXPECT_LT(std::sqrt(mse / n), 0.1);
+}
+
+TEST(Kalman, FusedAndUnfusedPUpdatesAgree) {
+  const i64 n = 16;
+  Rng rng(9);
+  std::vector<f64> p1(static_cast<std::size_t>(n * n));
+  for (auto& v : p1) v = rng.gaussian() * 0.1;
+  kernels::symmetrize(p1, n);
+  for (i64 i = 0; i < n; ++i) p1[static_cast<std::size_t>(i * n + i)] += 2.0;
+  std::vector<f64> p2 = p1;
+  std::vector<f64> k(static_cast<std::size_t>(n));
+  for (auto& v : k) v = rng.gaussian();
+  std::vector<f64> scratch(static_cast<std::size_t>(n * n));
+
+  kernels::p_update_fused(p1, k, 0.37, 0.98, n);
+  kernels::p_update_unfused(p2, k, 0.37, 0.98, scratch, n);
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_NEAR(p1[i], p2[i], 1e-12);
+  }
+}
+
+TEST(Kalman, FusedPUpdateIsOneKernelUnfusedThree) {
+  const i64 n = 8;
+  std::vector<f64> p(static_cast<std::size_t>(n * n), 0.0);
+  for (i64 i = 0; i < n; ++i) p[static_cast<std::size_t>(i * n + i)] = 1.0;
+  std::vector<f64> k(static_cast<std::size_t>(n), 0.5);
+  std::vector<f64> scratch(static_cast<std::size_t>(n * n));
+  {
+    KernelCountScope scope;
+    kernels::p_update_fused(p, k, 0.5, 0.98, n);
+    EXPECT_EQ(scope.count(), 1);
+  }
+  {
+    KernelCountScope scope;
+    kernels::p_update_unfused(p, k, 0.5, 0.98, scratch, n);
+    EXPECT_EQ(scope.count(), 3);
+  }
+}
+
+TEST(Kalman, CachedAndUncachedPgAgree) {
+  const i64 n = 20;
+  Rng rng(10);
+  auto blocks = split_blocks(Layout{{"w", n}}, 64);
+  KalmanConfig cached_cfg;
+  cached_cfg.cache_pg = true;
+  KalmanConfig uncached_cfg;
+  uncached_cfg.cache_pg = false;
+  uncached_cfg.fused_p_update = false;  // full framework path
+  KalmanOptimizer a(blocks, cached_cfg), b(blocks, uncached_cfg);
+  std::vector<f64> wa(static_cast<std::size_t>(n), 0.0), wb = wa,
+                   g(static_cast<std::size_t>(n));
+  for (int step = 0; step < 25; ++step) {
+    for (auto& v : g) v = rng.gaussian();
+    a.update(g, 0.3, wa);
+    b.update(g, 0.3, wb);
+  }
+  for (i64 i = 0; i < n; ++i) EXPECT_NEAR(wa[i], wb[i], 1e-10);
+}
+
+TEST(Kalman, MemoryAccounting) {
+  auto blocks =
+      split_blocks(Layout{{"a", 100}, {"b", 300}}, 128);  // {100+?}: a=100,
+  KalmanConfig fused;
+  KalmanOptimizer kal(blocks, fused);
+  i64 expected = 0;
+  for (const auto& b : kal.blocks()) expected += b.size * b.size * 8;
+  EXPECT_EQ(kal.p_bytes(), expected);
+  EXPECT_EQ(kal.scratch_bytes(), 0);  // fused kernel needs no scratch
+
+  KalmanConfig unfused;
+  unfused.fused_p_update = false;
+  KalmanOptimizer kal2(blocks, unfused);
+  i64 max_block = 0;
+  for (const auto& b : kal2.blocks()) max_block = std::max(max_block, b.size);
+  EXPECT_EQ(kal2.scratch_bytes(), max_block * max_block * 8);
+  EXPECT_GT(kal2.peak_bytes(), kal.peak_bytes());
+}
+
+TEST(Kalman, LambdaScheduleApproachesOne) {
+  // Eq. 3: lambda_{t+1} = lambda_t + (1 - nu)(1 - lambda_t), monotone to 1.
+  auto blocks = split_blocks(Layout{{"w", 4}}, 16);
+  KalmanConfig cfg;
+  KalmanOptimizer kal(blocks, cfg);
+  std::vector<f64> w(4, 0.0), g{1, 0, 0, 0};
+  f64 prev = kal.lambda();
+  EXPECT_DOUBLE_EQ(prev, 0.98);
+  for (int step = 0; step < 2000; ++step) {
+    kal.update(g, 0.0, w);
+    EXPECT_GE(kal.lambda(), prev);
+    prev = kal.lambda();
+  }
+  EXPECT_NEAR(kal.lambda(), 1.0, 0.002);
+}
+
+TEST(Kalman, LargeBatchHyperparameters) {
+  // §3.2: bs > 1024 switches to lambda 0.90, nu 0.996.
+  EXPECT_DOUBLE_EQ(KalmanConfig::for_batch_size(32).lambda0, 0.98);
+  EXPECT_DOUBLE_EQ(KalmanConfig::for_batch_size(4096).lambda0, 0.90);
+  EXPECT_DOUBLE_EQ(KalmanConfig::for_batch_size(4096).nu, 0.996);
+}
+
+TEST(Kalman, CovarianceLimitingBoundsP) {
+  auto blocks = split_blocks(Layout{{"w", 8}}, 16);
+  KalmanConfig cfg;
+  cfg.lambda0 = 0.5;  // aggressive forgetting -> fast P inflation
+  cfg.nu = 1.0;       // keep lambda at 0.5
+  cfg.p_max = 5.0;
+  cfg.process_noise = 0.0;
+  KalmanOptimizer kal(blocks, cfg);
+  std::vector<f64> w(8, 0.0), g(8, 0.0);
+  g[0] = 1.0;  // only direction 0 excited; others inflate as 2^t
+  for (int step = 0; step < 40; ++step) kal.update(g, 0.01, w);
+  // Re-run one update with a gradient along an unexcited direction; the
+  // step must stay bounded thanks to p_max.
+  std::vector<f64> g2(8, 0.0);
+  g2[7] = 1.0;
+  std::vector<f64> w2 = w;
+  kal.update(g2, 1.0, w2, /*step_norm_cap=*/0.0);
+  f64 step_norm = 0.0;
+  for (i64 i = 0; i < 8; ++i) step_norm += (w2[i] - w[i]) * (w2[i] - w[i]);
+  EXPECT_LT(std::sqrt(step_norm), 10.0);
+}
+
+TEST(Kalman, TrustRegionClipsStepNorm) {
+  auto blocks = split_blocks(Layout{{"w", 8}}, 16);
+  KalmanConfig cfg;
+  cfg.max_step_norm = 0.01;
+  KalmanOptimizer kal(blocks, cfg);
+  std::vector<f64> w(8, 0.0), g(8, 1.0);
+  kal.update(g, 100.0, w);  // absurd kscale
+  f64 norm = 0.0;
+  for (const f64 v : w) norm += v * v;
+  EXPECT_LE(std::sqrt(norm), 0.01 + 1e-12);
+}
+
+TEST(Kalman, NewtonClosureClampPreventsOvershoot) {
+  // With abe passed, the measurement change g^T dw never exceeds abe.
+  auto blocks = split_blocks(Layout{{"w", 8}}, 16);
+  KalmanConfig cfg;
+  cfg.max_step_norm = 0.0;
+  KalmanOptimizer kal(blocks, cfg);
+  std::vector<f64> w(8, 0.0), g(8, 2.0);
+  const f64 abe = 0.05;
+  const f64 kscale = 8.0 * abe;  // sqrt(bs)=8 style overshoot
+  kal.update(g, kscale, w, 0.0, abe);
+  f64 gdw = 0.0;
+  for (i64 i = 0; i < 8; ++i) gdw += g[static_cast<std::size_t>(i)] * w[static_cast<std::size_t>(i)];
+  EXPECT_LE(gdw, abe * 1.0001);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // min ||w - c||^2.
+  const i64 n = 16;
+  Rng rng(11);
+  std::vector<f64> c(static_cast<std::size_t>(n)), w(static_cast<std::size_t>(n), 0.0),
+      g(static_cast<std::size_t>(n));
+  for (auto& v : c) v = rng.gaussian();
+  AdamConfig cfg;
+  cfg.lr = 0.05;
+  cfg.decay_steps = 100000;
+  Adam adam(n, cfg);
+  for (int step = 0; step < 2000; ++step) {
+    for (i64 i = 0; i < n; ++i) {
+      g[static_cast<std::size_t>(i)] = 2.0 * (w[static_cast<std::size_t>(i)] - c[static_cast<std::size_t>(i)]);
+    }
+    adam.step(g, w);
+  }
+  for (i64 i = 0; i < n; ++i) {
+    EXPECT_NEAR(w[static_cast<std::size_t>(i)], c[static_cast<std::size_t>(i)], 1e-3);
+  }
+}
+
+TEST(Adam, LearningRateSchedule) {
+  AdamConfig cfg;
+  cfg.lr = 1e-3;
+  cfg.decay_rate = 0.95;
+  cfg.decay_steps = 10;
+  cfg.lr_scale = 4.0;
+  Adam adam(4, cfg);
+  EXPECT_DOUBLE_EQ(adam.current_lr(), 4e-3);
+  std::vector<f64> g(4, 0.0), w(4, 0.0);
+  for (int i = 0; i < 10; ++i) adam.step(g, w);
+  EXPECT_NEAR(adam.current_lr(), 4e-3 * 0.95, 1e-12);
+}
+
+TEST(NaiveEkf, MemoryIsSlotsTimesP) {
+  auto blocks = split_blocks(Layout{{"w", 64}}, 32);
+  KalmanConfig cfg;
+  NaiveEkf naive(blocks, cfg, /*slots=*/8);
+  KalmanOptimizer single(blocks, cfg);
+  EXPECT_EQ(naive.p_bytes(), 8 * single.p_bytes());
+  EXPECT_EQ(naive.comm_bytes_per_step(), naive.p_bytes());
+}
+
+TEST(NaiveEkf, CommitAveragesIncrements) {
+  auto blocks = split_blocks(Layout{{"w", 4}}, 16);
+  KalmanConfig cfg;
+  cfg.process_noise = 0.0;
+  cfg.max_step_norm = 0.0;
+  NaiveEkf naive(blocks, cfg, 2);
+  // Both slots see identical fresh P, so with gradients g and -g and equal
+  // errors the increments cancel exactly.
+  std::vector<f64> g{1.0, -0.5, 0.25, 2.0};
+  std::vector<f64> gneg = g;
+  for (auto& v : gneg) v = -v;
+  naive.accumulate(0, g, 0.3);
+  naive.accumulate(1, gneg, 0.3);
+  std::vector<f64> w(4, 1.0);
+  naive.commit(w);
+  for (const f64 v : w) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(NaiveEkf, SingleSlotMatchesKalman) {
+  auto blocks = split_blocks(Layout{{"w", 6}}, 16);
+  KalmanConfig cfg;
+  cfg.process_noise = 0.0;
+  cfg.max_step_norm = 0.0;
+  NaiveEkf naive(blocks, cfg, 1);
+  KalmanOptimizer kal(blocks, cfg);
+  Rng rng(12);
+  std::vector<f64> w1(6, 0.0), w2(6, 0.0), g(6);
+  for (int step = 0; step < 10; ++step) {
+    for (auto& v : g) v = rng.gaussian();
+    naive.accumulate(0, g, 0.2);
+    naive.commit(w1);
+    kal.update(g, 0.2, w2);
+  }
+  for (i64 i = 0; i < 6; ++i) EXPECT_NEAR(w1[static_cast<std::size_t>(i)], w2[static_cast<std::size_t>(i)], 1e-10);
+}
+
+}  // namespace
+}  // namespace fekf::optim

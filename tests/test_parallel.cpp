@@ -1,0 +1,67 @@
+// Thread-pool tests: task execution, exception propagation, parallel_for
+// coverage and determinism of the reduction targets it writes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/thread_pool.hpp"
+
+namespace fekf {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ForRangeCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  const i64 n = 1000;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  pool.for_range(0, n, [&](i64 i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ForRangeRespectsGrain) {
+  ThreadPool pool(4);
+  std::atomic<i64> sum{0};
+  pool.for_range(5, 105, [&](i64 i) { sum += i; }, /*grain=*/16);
+  EXPECT_EQ(sum.load(), (5 + 104) * 100 / 2);
+}
+
+TEST(ThreadPool, SingleWidthRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 0);  // no worker threads; caller executes
+  i64 sum = 0;
+  pool.for_range(0, 10, [&](i64 i) { sum += i; });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.for_range(5, 5, [&](i64) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, GlobalParallelForWorks) {
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(0, 64, [&](i64 i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace fekf

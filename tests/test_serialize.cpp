@@ -1,0 +1,155 @@
+// Checkpoint round-trip tests: a saved-and-reloaded model must reproduce
+// the original's predictions exactly (bit-level via hex-float encoding),
+// and malformed files must be rejected.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "data/dataset.hpp"
+#include "deepmd/model_potential.hpp"
+#include "deepmd/serialize.hpp"
+#include "md/langevin.hpp"
+#include "train/trainer.hpp"
+
+namespace fekf::deepmd {
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string(::testing::TempDir()) + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+data::Dataset small_dataset(const char* system = "NaCl") {
+  data::DatasetConfig dcfg;
+  dcfg.train_per_temperature = 3;
+  dcfg.test_per_temperature = 1;
+  return data::build_dataset(data::get_system(system), dcfg);
+}
+
+ModelConfig small_config() {
+  ModelConfig cfg;
+  cfg.rcut = 5.0;
+  cfg.rcut_smth = 2.5;
+  cfg.embed_width = 8;
+  cfg.axis_neurons = 4;
+  cfg.fitting_width = 12;
+  return cfg;
+}
+
+TEST(Serialize, RoundTripReproducesPredictions) {
+  data::Dataset ds = small_dataset();
+  DeepmdModel model(small_config(), 2);
+  model.fit_stats(ds.train);
+  // Perturb weights away from init so the round trip is non-trivial.
+  {
+    auto envs = train::prepare_all(model, ds.train);
+    train::TrainOptions opts;
+    opts.batch_size = 2;
+    opts.max_epochs = 1;
+    opts.eval_max_samples = 3;
+    optim::KalmanConfig kcfg;
+    kcfg.blocksize = 512;
+    train::KalmanTrainer trainer(model, kcfg, opts);
+    trainer.train(envs, {});
+  }
+
+  TempFile file("fekf_roundtrip.model");
+  save_model(model, file.path);
+  DeepmdModel loaded = load_model(file.path);
+
+  EXPECT_EQ(loaded.num_parameters(), model.num_parameters());
+  EXPECT_EQ(loaded.sel(), model.sel());
+
+  for (const md::Snapshot& snap : ds.test) {
+    auto env_a = model.prepare(snap);
+    auto env_b = loaded.prepare(snap);
+    auto pa = model.predict(env_a, true);
+    auto pb = loaded.predict(env_b, true);
+    EXPECT_EQ(pa.energy.item(), pb.energy.item());
+    for (i64 i = 0; i < pa.forces.numel(); ++i) {
+      EXPECT_EQ(pa.forces.value().data()[i], pb.forces.value().data()[i]);
+    }
+  }
+}
+
+TEST(Serialize, RejectsGarbage) {
+  TempFile file("fekf_garbage.model");
+  std::FILE* f = std::fopen(file.path.c_str(), "w");
+  std::fputs("not a model\n", f);
+  std::fclose(f);
+  EXPECT_THROW(load_model(file.path), Error);
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  EXPECT_THROW(load_model("/nonexistent/path/model.txt"), Error);
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  data::Dataset ds = small_dataset();
+  DeepmdModel model(small_config(), 2);
+  model.fit_stats(ds.train);
+  TempFile file("fekf_truncated.model");
+  save_model(model, file.path);
+  // Truncate to half.
+  std::FILE* f = std::fopen(file.path.c_str(), "r+");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  FEKF_CHECK(::truncate(file.path.c_str(), size / 2) == 0, "truncate failed");
+  EXPECT_THROW(load_model(file.path), Error);
+}
+
+TEST(ModelPotential, MatchesDirectPrediction) {
+  data::Dataset ds = small_dataset("Cu");
+  DeepmdModel model(small_config(), 1);
+  model.fit_stats(ds.train);
+  ModelPotential potential(model);
+  const md::Snapshot& snap = ds.test.front();
+
+  md::EnergyForces ef =
+      md::evaluate(potential, snap.positions, snap.types, snap.cell);
+  auto env = model.prepare(snap);
+  auto pred = model.predict(env, true);
+  EXPECT_NEAR(ef.energy, pred.energy.item(), 1e-4);
+  // Forces in original atom order must match the sorted prediction mapped
+  // through the permutation.
+  for (i64 s = 0; s < env->natoms; ++s) {
+    const i64 orig = env->perm[static_cast<std::size_t>(s)];
+    EXPECT_NEAR(ef.forces[static_cast<std::size_t>(orig)].x,
+                pred.forces.value().at(s, 0), 1e-5);
+    EXPECT_NEAR(ef.forces[static_cast<std::size_t>(orig)].y,
+                pred.forces.value().at(s, 1), 1e-5);
+    EXPECT_NEAR(ef.forces[static_cast<std::size_t>(orig)].z,
+                pred.forces.value().at(s, 2), 1e-5);
+  }
+}
+
+TEST(ModelPotential, DrivesStableDynamics) {
+  // Even an untrained model defines a smooth field; a few Langevin steps
+  // must stay finite and keep atoms separated.
+  data::Dataset ds = small_dataset("Cu");
+  DeepmdModel model(small_config(), 1);
+  model.fit_stats(ds.train);
+  ModelPotential potential(model);
+
+  md::System sys;
+  const md::Snapshot& snap = ds.train.front();
+  sys.cell = snap.cell;
+  sys.positions = snap.positions;
+  sys.types = snap.types;
+  sys.masses.assign(snap.positions.size(), 63.546);
+  md::LangevinIntegrator integrator(potential, {1.0, 300.0, 0.1});
+  Rng rng(3);
+  integrator.initialize_velocities(sys, rng);
+  const f64 e = integrator.run(sys, 5, rng);
+  EXPECT_TRUE(std::isfinite(e));
+  for (const md::Vec3& p : sys.positions) {
+    EXPECT_TRUE(std::isfinite(p.x + p.y + p.z));
+  }
+}
+
+}  // namespace
+}  // namespace fekf::deepmd
