@@ -13,6 +13,7 @@
 // two bar groups: 397->174 and 846->281 on the A100), and (c) the
 // iteration time split into forward / gradient / KF-update phases.
 #include "bench_common.hpp"
+#include "parallel/thread_pool.hpp"
 #include "tensor/kernel_counter.hpp"
 
 using namespace fekf;
@@ -75,6 +76,32 @@ int main(int argc, char** argv) {
     // Warm-up iteration (excluded), then measured iterations.
     trainer.energy_update(batch_span);
     trainer.force_update(batch_span, groups[0]);
+
+    // Launch counts are EXACT under concurrency (KernelCounter is atomic
+    // and kernels record once per launch, never per worker chunk): the same
+    // updates at width 1 and width N must count identically.
+    {
+      i64 count_1t = 0, count_nt = 0;
+      {
+        set_num_threads(1);
+        KernelCountScope scope;
+        trainer.energy_update(batch_span);
+        trainer.force_update(batch_span, groups[1]);
+        count_1t = scope.count();
+      }
+      {
+        set_num_threads(4);
+        KernelCountScope scope;
+        trainer.energy_update(batch_span);
+        trainer.force_update(batch_span, groups[1]);
+        count_nt = scope.count();
+      }
+      set_num_threads(0);  // restore default width
+      FEKF_CHECK(count_1t == count_nt,
+                 "kernel-launch counts differ between 1 and 4 threads: " +
+                     std::to_string(count_1t) + " vs " +
+                     std::to_string(count_nt));
+    }
     trainer.forward_timer().reset();
     trainer.gradient_timer().reset();
     trainer.optimizer_timer().reset();

@@ -2,12 +2,30 @@
 # Regenerate every paper table/figure into stdout (tee to bench_output.txt).
 # Budgets are sized for a single CPU core (~30-40 min total); every harness
 # accepts flags to scale toward the paper's configuration (--help).
+#
+# Machine-readable artifacts land in bench_artifacts/: every run is recorded
+# in index.json together with the thread width it executed at, so scaling
+# results stay attributable to a configuration (README "Runtime
+# configuration").
 set -u
+ARTIFACTS=bench_artifacts
+mkdir -p "$ARTIFACTS"
+: "${FEKF_NUM_THREADS:=$(nproc)}"
+export FEKF_NUM_THREADS
+INDEX="$ARTIFACTS/index.json"
+echo "{" > "$INDEX"
+echo "  \"fekf_num_threads\": $FEKF_NUM_THREADS," >> "$INDEX"
+echo "  \"hardware_threads\": $(nproc)," >> "$INDEX"
+echo "  \"runs\": [" >> "$INDEX"
+FIRST=1
 run() {
   echo "===================================================================="
-  echo "== $*"
+  echo "== $* (FEKF_NUM_THREADS=$FEKF_NUM_THREADS)"
   echo "===================================================================="
   "$@" 2>&1
+  local status=$?
+  [ "$FIRST" = 1 ] && FIRST=0 || echo "    ," >> "$INDEX"
+  echo "    {\"cmd\": \"$*\", \"threads\": $FEKF_NUM_THREADS, \"exit\": $status}" >> "$INDEX"
   echo
 }
 run ./build/bench/bench_comm_memory
@@ -19,3 +37,8 @@ run ./build/bench/bench_fig7a_end2end --systems Cu --fekf-epochs 8 --rlekf-epoch
 run ./build/bench/bench_table1_adam_batch --train 48 --epochs1 10
 run ./build/bench/bench_table4_convergence --train 32 --adam-epochs 8 --fekf-epochs 5
 run ./build/bench/bench_ablation_stabilizers --train 40 --epochs 6
+run ./build/bench/bench_scaling --train 64 --batch 16 --iters 2 \
+  --threads 1,2,4,8 --json "$ARTIFACTS/scaling.json"
+echo "  ]" >> "$INDEX"
+echo "}" >> "$INDEX"
+echo "artifact index: $INDEX"

@@ -2,11 +2,16 @@
 
 #include <cstring>
 
+#include "parallel/thread_pool.hpp"
 #include "tensor/kernel_counter.hpp"
 
 namespace fekf::deepmd {
 
 using ag::Variable;
+
+// Threading: the batched kernels parallelize over the block (atom/batch)
+// dimension — each task owns whole p x s output blocks, so the results are
+// bit-exact for any thread width (DESIGN.md "Threading & determinism").
 
 namespace {
 
@@ -27,17 +32,22 @@ Tensor bmm_nn_kernel(const Tensor& x, const Tensor& y, i64 p) {
   const f32* __restrict__ px = x.data();
   const f32* __restrict__ py = y.data();
   f32* __restrict__ po = out.data();
-  for (i64 b = 0; b < nb; ++b) {
-    const f32* xb = px + b * p * q;
-    const f32* yb = py + b * q * s;
-    f32* ob = po + b * p * s;
-    for (i64 i = 0; i < p; ++i) {
-      for (i64 l = 0; l < q; ++l) {
-        const f32 xv = xb[i * q + l];
-        for (i64 j = 0; j < s; ++j) ob[i * s + j] += xv * yb[l * s + j];
-      }
-    }
-  }
+  parallel_for_blocks(
+      0, nb,
+      [&](i64 blo, i64 bhi) {
+        for (i64 b = blo; b < bhi; ++b) {
+          const f32* xb = px + b * p * q;
+          const f32* yb = py + b * q * s;
+          f32* ob = po + b * p * s;
+          for (i64 i = 0; i < p; ++i) {
+            for (i64 l = 0; l < q; ++l) {
+              const f32 xv = xb[i * q + l];
+              for (i64 j = 0; j < s; ++j) ob[i * s + j] += xv * yb[l * s + j];
+            }
+          }
+        }
+      },
+      grain_items(p * q * s));
   return out;
 }
 
@@ -51,19 +61,24 @@ Tensor bmm_tn_kernel(const Tensor& x, const Tensor& y, i64 q) {
   const f32* __restrict__ px = x.data();
   const f32* __restrict__ py = y.data();
   f32* __restrict__ po = out.data();
-  for (i64 b = 0; b < nb; ++b) {
-    const f32* xb = px + b * q * p;
-    const f32* yb = py + b * q * s;
-    f32* ob = po + b * p * s;
-    for (i64 l = 0; l < q; ++l) {
-      const f32* xrow = xb + l * p;
-      const f32* yrow = yb + l * s;
-      for (i64 i = 0; i < p; ++i) {
-        const f32 xv = xrow[i];
-        for (i64 j = 0; j < s; ++j) ob[i * s + j] += xv * yrow[j];
-      }
-    }
-  }
+  parallel_for_blocks(
+      0, nb,
+      [&](i64 blo, i64 bhi) {
+        for (i64 b = blo; b < bhi; ++b) {
+          const f32* xb = px + b * q * p;
+          const f32* yb = py + b * q * s;
+          f32* ob = po + b * p * s;
+          for (i64 l = 0; l < q; ++l) {
+            const f32* xrow = xb + l * p;
+            const f32* yrow = yb + l * s;
+            for (i64 i = 0; i < p; ++i) {
+              const f32 xv = xrow[i];
+              for (i64 j = 0; j < s; ++j) ob[i * s + j] += xv * yrow[j];
+            }
+          }
+        }
+      },
+      grain_items(p * q * s));
   return out;
 }
 
@@ -77,20 +92,25 @@ Tensor bmm_nt_kernel(const Tensor& x, const Tensor& y, i64 p, i64 s) {
   const f32* __restrict__ px = x.data();
   const f32* __restrict__ py = y.data();
   f32* __restrict__ po = out.data();
-  for (i64 b = 0; b < nb; ++b) {
-    const f32* xb = px + b * p * q;
-    const f32* yb = py + b * s * q;
-    f32* ob = po + b * p * s;
-    for (i64 i = 0; i < p; ++i) {
-      for (i64 j = 0; j < s; ++j) {
-        f64 acc = 0.0;
-        for (i64 l = 0; l < q; ++l) {
-          acc += static_cast<f64>(xb[i * q + l]) * yb[j * q + l];
+  parallel_for_blocks(
+      0, nb,
+      [&](i64 blo, i64 bhi) {
+        for (i64 b = blo; b < bhi; ++b) {
+          const f32* xb = px + b * p * q;
+          const f32* yb = py + b * s * q;
+          f32* ob = po + b * p * s;
+          for (i64 i = 0; i < p; ++i) {
+            for (i64 j = 0; j < s; ++j) {
+              f64 acc = 0.0;
+              for (i64 l = 0; l < q; ++l) {
+                acc += static_cast<f64>(xb[i * q + l]) * yb[j * q + l];
+              }
+              ob[i * s + j] = static_cast<f32>(acc);
+            }
+          }
         }
-        ob[i * s + j] = static_cast<f32>(acc);
-      }
-    }
-  }
+      },
+      grain_items(p * q * s));
   return out;
 }
 
@@ -101,10 +121,15 @@ Tensor block_slice_kernel(const Tensor& x, i64 block, i64 r0, i64 r1) {
   const i64 c = x.cols();
   KernelCounter::record("block_slice_rows");
   Tensor out(nb * h, c);
-  for (i64 b = 0; b < nb; ++b) {
-    std::memcpy(out.data() + b * h * c, x.data() + (b * block + r0) * c,
-                static_cast<std::size_t>(h * c) * sizeof(f32));
-  }
+  parallel_for_blocks(
+      0, nb,
+      [&](i64 blo, i64 bhi) {
+        for (i64 b = blo; b < bhi; ++b) {
+          std::memcpy(out.data() + b * h * c, x.data() + (b * block + r0) * c,
+                      static_cast<std::size_t>(h * c) * sizeof(f32));
+        }
+      },
+      grain_items(h * c));
   return out;
 }
 
@@ -114,10 +139,15 @@ Tensor block_pad_kernel(const Tensor& x, i64 block, i64 h, i64 r0) {
   const i64 c = x.cols();
   KernelCounter::record("block_pad_rows");
   Tensor out = Tensor::zeros(nb * block, c);
-  for (i64 b = 0; b < nb; ++b) {
-    std::memcpy(out.data() + (b * block + r0) * c, x.data() + b * h * c,
-                static_cast<std::size_t>(h * c) * sizeof(f32));
-  }
+  parallel_for_blocks(
+      0, nb,
+      [&](i64 blo, i64 bhi) {
+        for (i64 b = blo; b < bhi; ++b) {
+          std::memcpy(out.data() + (b * block + r0) * c, x.data() + b * h * c,
+                      static_cast<std::size_t>(h * c) * sizeof(f32));
+        }
+      },
+      grain_items(h * c));
   return out;
 }
 

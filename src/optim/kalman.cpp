@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "parallel/thread_pool.hpp"
 #include "tensor/kernels.hpp"
 
 namespace fekf::optim {
@@ -109,7 +110,13 @@ void KalmanOptimizer::update(std::span<const f64> g, f64 kscale,
       }
       if (max_diag > config_.p_max) {
         const f64 scale = config_.p_max / max_diag;
-        for (f64& v : p_[b]) v *= scale;
+        f64* pd = p_[b].data();
+        parallel_for_blocks(
+            0, n * n,
+            [&](i64 lo, i64 hi) {
+              for (i64 i = lo; i < hi; ++i) pd[i] *= scale;
+            },
+            kGrainWork);
       }
     }
   }

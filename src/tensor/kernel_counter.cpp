@@ -18,6 +18,9 @@ void KernelCounter::record(const char* name) {
   ++names()[name];
 }
 
+// enable/reset/total use sequentially-consistent accesses: they run on the
+// control thread around parallel regions (KernelCountScope), and the seq-cst
+// fences order them against the workers' relaxed record() increments.
 void KernelCounter::enable(bool on) { enabled_.store(on); }
 bool KernelCounter::enabled() { return enabled_.load(); }
 

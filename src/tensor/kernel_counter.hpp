@@ -6,6 +6,15 @@
 // reproduction, every primitive tensor kernel reports a "launch" here; fused
 // custom kernels report exactly one. The *ratio* between configurations is
 // the quantity the experiment reproduces.
+//
+// Thread safety: record() may be called concurrently from thread-pool
+// workers (per-sample measurement assembly runs forward passes in
+// parallel). The total is a relaxed atomic and the per-name breakdown is
+// mutex-guarded, so counts are EXACT — not approximate — at any thread
+// width; bench_fig7bc_kernels asserts 1-thread and N-thread launch counts
+// are identical. Kernels record once per launch on the thread that issues
+// the kernel, never per worker chunk, so parallelizing a kernel's interior
+// does not change its count.
 #pragma once
 
 #include <atomic>

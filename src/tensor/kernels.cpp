@@ -3,7 +3,16 @@
 #include <cmath>
 #include <cstring>
 
+#include "parallel/thread_pool.hpp"
 #include "tensor/kernel_counter.hpp"
+
+// Threading (DESIGN.md "Threading & determinism"): every kernel below
+// parallelizes over an output partition whose elements are written by
+// exactly one task (row panels, column panels, flat chunks), so results are
+// bit-exact for any thread width. Reductions that fold a whole range into
+// one scalar go through parallel_reduce_f64, whose fixed chunking pins the
+// combine order independently of the width. Grain sizes follow the
+// kGrainWork policy: unit-test-sized tensors run serial.
 
 namespace fekf::kernels {
 
@@ -23,8 +32,12 @@ Tensor elementwise2(const Tensor& a, const Tensor& b, const char* name,
   const f32* pa = a.data();
   const f32* pb = b.data();
   f32* po = out.data();
-  const i64 n = a.numel();
-  for (i64 i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+  parallel_for_blocks(
+      0, a.numel(),
+      [&](i64 lo, i64 hi) {
+        for (i64 i = lo; i < hi; ++i) po[i] = fn(pa[i], pb[i]);
+      },
+      kGrainWork);
   return out;
 }
 
@@ -34,8 +47,12 @@ Tensor elementwise1(const Tensor& a, const char* name, Fn&& fn) {
   Tensor out(a.rows(), a.cols());
   const f32* pa = a.data();
   f32* po = out.data();
-  const i64 n = a.numel();
-  for (i64 i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  parallel_for_blocks(
+      0, a.numel(),
+      [&](i64 lo, i64 hi) {
+        for (i64 i = lo; i < hi; ++i) po[i] = fn(pa[i]);
+      },
+      kGrainWork);
   return out;
 }
 
@@ -83,14 +100,19 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const f32* __restrict__ pa = a.data();
   const f32* __restrict__ pb = b.data();
   f32* __restrict__ po = out.data();
-  for (i64 i = 0; i < m; ++i) {
-    for (i64 l = 0; l < k; ++l) {
-      const f32 av = pa[i * k + l];
-      const f32* __restrict__ brow = pb + l * n;
-      f32* __restrict__ orow = po + i * n;
-      for (i64 j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  parallel_for_blocks(
+      0, m,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          for (i64 l = 0; l < k; ++l) {
+            const f32 av = pa[i * k + l];
+            const f32* __restrict__ brow = pb + l * n;
+            f32* __restrict__ orow = po + i * n;
+            for (i64 j = 0; j < n; ++j) orow[j] += av * brow[j];
+          }
+        }
+      },
+      grain_items(k * n));
   return out;
 }
 
@@ -103,15 +125,23 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const f32* __restrict__ pa = a.data();
   const f32* __restrict__ pb = b.data();
   f32* __restrict__ po = out.data();
-  for (i64 l = 0; l < k; ++l) {
-    const f32* __restrict__ arow = pa + l * m;
-    const f32* __restrict__ brow = pb + l * n;
-    for (i64 i = 0; i < m; ++i) {
-      const f32 av = arow[i];
-      f32* __restrict__ orow = po + i * n;
-      for (i64 j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  // Row panels of the output; each panel keeps the cache-friendly l-outer
+  // loop, and each out[i][j] still accumulates over ascending l, so the
+  // panel split does not change the numerics.
+  parallel_for_blocks(
+      0, m,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 l = 0; l < k; ++l) {
+          const f32* __restrict__ arow = pa + l * m;
+          const f32* __restrict__ brow = pb + l * n;
+          for (i64 i = rlo; i < rhi; ++i) {
+            const f32 av = arow[i];
+            f32* __restrict__ orow = po + i * n;
+            for (i64 j = 0; j < n; ++j) orow[j] += av * brow[j];
+          }
+        }
+      },
+      grain_items(k * n));
   return out;
 }
 
@@ -124,15 +154,22 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const f32* __restrict__ pa = a.data();
   const f32* __restrict__ pb = b.data();
   f32* __restrict__ po = out.data();
-  for (i64 i = 0; i < m; ++i) {
-    const f32* __restrict__ arow = pa + i * k;
-    for (i64 j = 0; j < n; ++j) {
-      const f32* __restrict__ brow = pb + j * k;
-      f64 acc = 0.0;
-      for (i64 l = 0; l < k; ++l) acc += static_cast<f64>(arow[l]) * brow[l];
-      po[i * n + j] = static_cast<f32>(acc);
-    }
-  }
+  parallel_for_blocks(
+      0, m,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          const f32* __restrict__ arow = pa + i * k;
+          for (i64 j = 0; j < n; ++j) {
+            const f32* __restrict__ brow = pb + j * k;
+            f64 acc = 0.0;
+            for (i64 l = 0; l < k; ++l) {
+              acc += static_cast<f64>(arow[l]) * brow[l];
+            }
+            po[i * n + j] = static_cast<f32>(acc);
+          }
+        }
+      },
+      grain_items(k * n));
   return out;
 }
 
@@ -142,9 +179,14 @@ Tensor transpose(const Tensor& a) {
   const f32* pa = a.data();
   f32* po = out.data();
   const i64 m = a.rows(), n = a.cols();
-  for (i64 i = 0; i < m; ++i) {
-    for (i64 j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
-  }
+  parallel_for_blocks(
+      0, m,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          for (i64 j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+        }
+      },
+      grain_items(n));
   return out;
 }
 
@@ -157,9 +199,14 @@ Tensor add_rowvec(const Tensor& mat, const Tensor& row) {
   const f32* pr = row.data();
   f32* po = out.data();
   const i64 m = mat.rows(), n = mat.cols();
-  for (i64 i = 0; i < m; ++i) {
-    for (i64 j = 0; j < n; ++j) po[i * n + j] = pm[i * n + j] + pr[j];
-  }
+  parallel_for_blocks(
+      0, m,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          for (i64 j = 0; j < n; ++j) po[i * n + j] = pm[i * n + j] + pr[j];
+        }
+      },
+      grain_items(n));
   return out;
 }
 
@@ -168,10 +215,15 @@ Tensor broadcast_rows(const Tensor& row, i64 m) {
   KernelCounter::record("broadcast_rows");
   Tensor out(m, row.cols());
   const i64 n = row.cols();
-  for (i64 i = 0; i < m; ++i) {
-    std::memcpy(out.data() + i * n, row.data(),
-                static_cast<std::size_t>(n) * sizeof(f32));
-  }
+  parallel_for_blocks(
+      0, m,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          std::memcpy(out.data() + i * n, row.data(),
+                      static_cast<std::size_t>(n) * sizeof(f32));
+        }
+      },
+      grain_items(n));
   return out;
 }
 
@@ -182,10 +234,15 @@ Tensor broadcast_cols(const Tensor& col, i64 n) {
   Tensor out(m, n);
   const f32* pc = col.data();
   f32* po = out.data();
-  for (i64 i = 0; i < m; ++i) {
-    const f32 v = pc[i];
-    for (i64 j = 0; j < n; ++j) po[i * n + j] = v;
-  }
+  parallel_for_blocks(
+      0, m,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          const f32 v = pc[i];
+          for (i64 j = 0; j < n; ++j) po[i * n + j] = v;
+        }
+      },
+      grain_items(n));
   return out;
 }
 
@@ -200,16 +257,21 @@ Tensor linear_fused(const Tensor& x, const Tensor& w, const Tensor& bias) {
   const f32* __restrict__ pw = w.data();
   const f32* __restrict__ pb = bias.data();
   f32* __restrict__ po = out.data();
-  for (i64 i = 0; i < m; ++i) {
-    f32* __restrict__ orow = po + i * n;
-    std::memcpy(orow, pb, static_cast<std::size_t>(n) * sizeof(f32));
-    const f32* __restrict__ xrow = px + i * k;
-    for (i64 l = 0; l < k; ++l) {
-      const f32 xv = xrow[l];
-      const f32* __restrict__ wrow = pw + l * n;
-      for (i64 j = 0; j < n; ++j) orow[j] += xv * wrow[j];
-    }
-  }
+  parallel_for_blocks(
+      0, m,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          f32* __restrict__ orow = po + i * n;
+          std::memcpy(orow, pb, static_cast<std::size_t>(n) * sizeof(f32));
+          const f32* __restrict__ xrow = px + i * k;
+          for (i64 l = 0; l < k; ++l) {
+            const f32 xv = xrow[l];
+            const f32* __restrict__ wrow = pw + l * n;
+            for (i64 j = 0; j < n; ++j) orow[j] += xv * wrow[j];
+          }
+        }
+      },
+      grain_items(k * n));
   return out;
 }
 
@@ -222,9 +284,14 @@ Tensor broadcast_full(const Tensor& scalar, i64 m, i64 n) {
 Tensor sum_all(const Tensor& a) {
   KernelCounter::record("sum_all");
   const f32* pa = a.data();
-  f64 acc = 0.0;
-  const i64 n = a.numel();
-  for (i64 i = 0; i < n; ++i) acc += pa[i];
+  const f64 acc = parallel_reduce_f64(0, a.numel(), kReduceChunk,
+                                      [pa](i64 lo, i64 hi) {
+                                        f64 s = 0.0;
+                                        for (i64 i = lo; i < hi; ++i) {
+                                          s += pa[i];
+                                        }
+                                        return s;
+                                      });
   return Tensor::scalar(static_cast<f32>(acc));
 }
 
@@ -233,11 +300,17 @@ Tensor sum_rows(const Tensor& a) {
   const i64 m = a.rows(), n = a.cols();
   Tensor out(1, n);
   const f32* pa = a.data();
-  for (i64 j = 0; j < n; ++j) {
-    f64 acc = 0.0;
-    for (i64 i = 0; i < m; ++i) acc += pa[i * n + j];
-    out.data()[j] = static_cast<f32>(acc);
-  }
+  f32* po = out.data();
+  parallel_for_blocks(
+      0, n,
+      [&](i64 clo, i64 chi) {
+        for (i64 j = clo; j < chi; ++j) {
+          f64 acc = 0.0;
+          for (i64 i = 0; i < m; ++i) acc += pa[i * n + j];
+          po[j] = static_cast<f32>(acc);
+        }
+      },
+      grain_items(m));
   return out;
 }
 
@@ -246,11 +319,17 @@ Tensor sum_cols(const Tensor& a) {
   const i64 m = a.rows(), n = a.cols();
   Tensor out(m, 1);
   const f32* pa = a.data();
-  for (i64 i = 0; i < m; ++i) {
-    f64 acc = 0.0;
-    for (i64 j = 0; j < n; ++j) acc += pa[i * n + j];
-    out.data()[i] = static_cast<f32>(acc);
-  }
+  f32* po = out.data();
+  parallel_for_blocks(
+      0, m,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          f64 acc = 0.0;
+          for (i64 j = 0; j < n; ++j) acc += pa[i * n + j];
+          po[i] = static_cast<f32>(acc);
+        }
+      },
+      grain_items(n));
   return out;
 }
 
@@ -259,10 +338,15 @@ Tensor slice_cols(const Tensor& a, i64 c0, i64 c1) {
   KernelCounter::record("slice_cols");
   const i64 m = a.rows(), n = a.cols(), w = c1 - c0;
   Tensor out(m, w);
-  for (i64 i = 0; i < m; ++i) {
-    std::memcpy(out.data() + i * w, a.data() + i * n + c0,
-                static_cast<std::size_t>(w) * sizeof(f32));
-  }
+  parallel_for_blocks(
+      0, m,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          std::memcpy(out.data() + i * w, a.data() + i * n + c0,
+                      static_cast<std::size_t>(w) * sizeof(f32));
+        }
+      },
+      grain_items(w));
   return out;
 }
 
@@ -271,10 +355,15 @@ Tensor pad_cols(const Tensor& a, i64 cols, i64 c0) {
   KernelCounter::record("pad_cols");
   const i64 m = a.rows(), w = a.cols();
   Tensor out = Tensor::zeros(m, cols);
-  for (i64 i = 0; i < m; ++i) {
-    std::memcpy(out.data() + i * cols + c0, a.data() + i * w,
-                static_cast<std::size_t>(w) * sizeof(f32));
-  }
+  parallel_for_blocks(
+      0, m,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          std::memcpy(out.data() + i * cols + c0, a.data() + i * w,
+                      static_cast<std::size_t>(w) * sizeof(f32));
+        }
+      },
+      grain_items(cols));
   return out;
 }
 
@@ -319,10 +408,14 @@ f64 dot_all(const Tensor& a, const Tensor& b) {
   KernelCounter::record("dot_all");
   const f32* pa = a.data();
   const f32* pb = b.data();
-  f64 acc = 0.0;
-  const i64 n = a.numel();
-  for (i64 i = 0; i < n; ++i) acc += static_cast<f64>(pa[i]) * pb[i];
-  return acc;
+  return parallel_reduce_f64(0, a.numel(), kReduceChunk,
+                             [pa, pb](i64 lo, i64 hi) {
+                               f64 s = 0.0;
+                               for (i64 i = lo; i < hi; ++i) {
+                                 s += static_cast<f64>(pa[i]) * pb[i];
+                               }
+                               return s;
+                             });
 }
 
 // ---------------------------------------------------------------------------
@@ -339,26 +432,43 @@ void symv(std::span<const f64> p, std::span<const f64> g, std::span<f64> y,
   const f64* __restrict__ pp = p.data();
   const f64* __restrict__ pg = g.data();
   f64* __restrict__ py = y.data();
-  for (i64 i = 0; i < n; ++i) {
-    const f64* __restrict__ row = pp + i * n;
-    f64 acc = 0.0;
-    for (i64 j = 0; j < n; ++j) acc += row[j] * pg[j];
-    py[i] = acc;
-  }
+  parallel_for_blocks(
+      0, n,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          const f64* __restrict__ row = pp + i * n;
+          f64 acc = 0.0;
+          for (i64 j = 0; j < n; ++j) acc += row[j] * pg[j];
+          py[i] = acc;
+        }
+      },
+      grain_items(n));
 }
 
 f64 dot(std::span<const f64> a, std::span<const f64> b) {
   FEKF_CHECK(a.size() == b.size(), "dot size mismatch");
   KernelCounter::record("ekf_dot");
-  f64 acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  const f64* pa = a.data();
+  const f64* pb = b.data();
+  return parallel_reduce_f64(0, static_cast<i64>(a.size()), kReduceChunk,
+                             [pa, pb](i64 lo, i64 hi) {
+                               f64 s = 0.0;
+                               for (i64 i = lo; i < hi; ++i) s += pa[i] * pb[i];
+                               return s;
+                             });
 }
 
 void axpy(f64 alpha, std::span<const f64> x, std::span<f64> y) {
   FEKF_CHECK(x.size() == y.size(), "axpy size mismatch");
   KernelCounter::record("ekf_axpy");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  const f64* px = x.data();
+  f64* py = y.data();
+  parallel_for_blocks(
+      0, static_cast<i64>(x.size()),
+      [&](i64 lo, i64 hi) {
+        for (i64 i = lo; i < hi; ++i) py[i] += alpha * px[i];
+      },
+      kGrainWork);
 }
 
 void p_update_unfused(std::span<f64> p, std::span<const f64> k, f64 inv_a,
@@ -371,18 +481,28 @@ void p_update_unfused(std::span<f64> p, std::span<const f64> k, f64 inv_a,
   KernelCounter::record("ekf_outer");
   f64* __restrict__ tmp = scratch.data();
   const f64* __restrict__ pk = k.data();
-  for (i64 i = 0; i < n; ++i) {
-    const f64 ki = pk[i];
-    f64* __restrict__ row = tmp + i * n;
-    for (i64 j = 0; j < n; ++j) row[j] = ki * pk[j];
-  }
+  parallel_for_blocks(
+      0, n,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          const f64 ki = pk[i];
+          f64* __restrict__ row = tmp + i * n;
+          for (i64 j = 0; j < n; ++j) row[j] = ki * pk[j];
+        }
+      },
+      grain_items(n));
   // Launch 2: P = (P - tmp * inv_a) / lambda.
   KernelCounter::record("ekf_sub_scale");
   f64* __restrict__ pp = p.data();
   const f64 inv_lambda = 1.0 / lambda;
-  for (i64 i = 0; i < n * n; ++i) {
-    pp[i] = (pp[i] - inv_a * tmp[i]) * inv_lambda;
-  }
+  parallel_for_blocks(
+      0, n * n,
+      [&](i64 lo, i64 hi) {
+        for (i64 i = lo; i < hi; ++i) {
+          pp[i] = (pp[i] - inv_a * tmp[i]) * inv_lambda;
+        }
+      },
+      kGrainWork);
   // Launch 3: symmetrize (Algorithm 1, line 11).
   symmetrize(p, n);
 }
@@ -396,30 +516,46 @@ void p_update_fused(std::span<f64> p, std::span<const f64> k, f64 inv_a,
   f64* __restrict__ pp = p.data();
   const f64* __restrict__ pk = k.data();
   const f64 inv_lambda = 1.0 / lambda;
-  for (i64 i = 0; i < n; ++i) {
-    const f64 ki_scaled = inv_a * pk[i];
-    for (i64 j = i; j < n; ++j) {
-      // (P - (1/a) k k^T)/lambda on the upper triangle; symmetrization is
-      // folded in by averaging the (i,j)/(j,i) pair of the current P.
-      const f64 pij = 0.5 * (pp[i * n + j] + pp[j * n + i]);
-      const f64 v = (pij - ki_scaled * pk[j]) * inv_lambda;
-      pp[i * n + j] = v;
-      pp[j * n + i] = v;
-    }
-  }
+  // Row panels over the upper triangle. The task owning row i touches
+  // exactly the element pairs {(i,j), (j,i)} for j >= i, and no other task
+  // reads or writes them, so the panels are disjoint and the result is
+  // independent of the panel-to-thread assignment.
+  parallel_for_blocks(
+      0, n,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          const f64 ki_scaled = inv_a * pk[i];
+          for (i64 j = i; j < n; ++j) {
+            // (P - (1/a) k k^T)/lambda on the upper triangle; symmetrization
+            // is folded in by averaging the (i,j)/(j,i) pair of the current P.
+            const f64 pij = 0.5 * (pp[i * n + j] + pp[j * n + i]);
+            const f64 v = (pij - ki_scaled * pk[j]) * inv_lambda;
+            pp[i * n + j] = v;
+            pp[j * n + i] = v;
+          }
+        }
+      },
+      grain_items(n));  // ~n/2 ops per row on average; panels rebalance
 }
 
 void symmetrize(std::span<f64> p, i64 n) {
   FEKF_CHECK(static_cast<i64>(p.size()) == n * n, "symmetrize size mismatch");
   KernelCounter::record("ekf_symmetrize");
   f64* __restrict__ pp = p.data();
-  for (i64 i = 0; i < n; ++i) {
-    for (i64 j = i + 1; j < n; ++j) {
-      const f64 v = 0.5 * (pp[i * n + j] + pp[j * n + i]);
-      pp[i * n + j] = v;
-      pp[j * n + i] = v;
-    }
-  }
+  // Same pair-ownership argument as p_update_fused: row i owns {(i,j),
+  // (j,i)} for j > i.
+  parallel_for_blocks(
+      0, n,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          for (i64 j = i + 1; j < n; ++j) {
+            const f64 v = 0.5 * (pp[i * n + j] + pp[j * n + i]);
+            pp[i * n + j] = v;
+            pp[j * n + i] = v;
+          }
+        }
+      },
+      grain_items(n));
 }
 
 }  // namespace fekf::kernels

@@ -3,24 +3,40 @@
 #include <cmath>
 
 #include "autograd/ops.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace fekf::train {
 
 namespace op = ag::ops;
+
+// Threading: per-sample forward passes are independent (each builds its own
+// tape subgraph; the shared weight leaves are only read), so they run under
+// parallel_for. The scalar measurement and its ABE are then combined in
+// batch order on the calling thread, which pins the graph shape and the
+// accumulation order — results are bit-exact for any thread width
+// (DESIGN.md "Threading & determinism").
 
 Measurement energy_measurement(const deepmd::DeepmdModel& model,
                                std::span<const EnvPtr> batch) {
   FEKF_CHECK(!batch.empty(), "empty batch");
   const f64 natoms = static_cast<f64>(batch.front()->natoms);
   const f64 norm = 1.0 / (static_cast<f64>(batch.size()) * natoms);
-  Measurement out;
-  for (const EnvPtr& env : batch) {
+  const i64 bs = static_cast<i64>(batch.size());
+  std::vector<ag::Variable> terms(static_cast<std::size_t>(bs));
+  std::vector<f64> abes(static_cast<std::size_t>(bs), 0.0);
+  parallel_for(0, bs, [&](i64 s) {
+    const EnvPtr& env = batch[static_cast<std::size_t>(s)];
     auto pred = model.predict(env, /*with_forces=*/false);
     const f64 err = env->energy_label - static_cast<f64>(pred.energy.item());
     const f64 sigma = err >= 0.0 ? 1.0 : -1.0;  // Alg. 1 lines 3-5
-    out.abe += std::abs(err) * norm;
-    ag::Variable term =
+    abes[static_cast<std::size_t>(s)] = std::abs(err) * norm;
+    terms[static_cast<std::size_t>(s)] =
         op::scale(pred.energy, static_cast<f32>(sigma * norm));
+  });
+  Measurement out;
+  for (i64 s = 0; s < bs; ++s) {
+    out.abe += abes[static_cast<std::size_t>(s)];
+    const ag::Variable& term = terms[static_cast<std::size_t>(s)];
     out.m = out.m.defined() ? op::add(out.m, term) : term;
   }
   return out;
@@ -45,22 +61,33 @@ Measurement force_measurement(const deepmd::DeepmdModel& model,
   const f64 ncomps = static_cast<f64>(group.size()) * 3.0;
   const f64 grad_norm = update_prefactor / (bs * natoms);
   const f64 abe_norm = update_prefactor / (bs * natoms * ncomps);
-  Measurement out;
-  for (const EnvPtr& env : batch) {
+  const i64 nb = static_cast<i64>(batch.size());
+  std::vector<ag::Variable> terms(static_cast<std::size_t>(nb));
+  std::vector<f64> abes(static_cast<std::size_t>(nb), 0.0);
+  parallel_for(0, nb, [&](i64 s) {
+    const EnvPtr& env = batch[static_cast<std::size_t>(s)];
     auto pred = model.predict(env, /*with_forces=*/true);
     const Tensor& f = pred.forces.value();
     const Tensor& y = env->force_label;
     // Sign-weighted selection mask over the group's components.
     Tensor mask = Tensor::zeros(env->natoms, 3);
+    f64 abe = 0.0;
     for (const i64 atom : group) {
       for (int axis = 0; axis < 3; ++axis) {
         const f64 err = static_cast<f64>(y.at(atom, axis)) - f.at(atom, axis);
         const f64 sigma = err >= 0.0 ? 1.0 : -1.0;
         mask.at(atom, axis) = static_cast<f32>(sigma * grad_norm);
-        out.abe += std::abs(err) * abe_norm;
+        abe += std::abs(err) * abe_norm;
       }
     }
-    ag::Variable term = op::sum_all(op::mul(pred.forces, ag::Variable(mask)));
+    abes[static_cast<std::size_t>(s)] = abe;
+    terms[static_cast<std::size_t>(s)] =
+        op::sum_all(op::mul(pred.forces, ag::Variable(mask)));
+  });
+  Measurement out;
+  for (i64 s = 0; s < nb; ++s) {
+    out.abe += abes[static_cast<std::size_t>(s)];
+    const ag::Variable& term = terms[static_cast<std::size_t>(s)];
     out.m = out.m.defined() ? op::add(out.m, term) : term;
   }
   return out;

@@ -6,6 +6,7 @@
 #include "autograd/ops.hpp"
 #include "core/log.hpp"
 #include "data/dataset.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace fekf::train {
 
@@ -92,8 +93,12 @@ ag::Variable AdamTrainer::batch_loss(std::span<const EnvPtr> batch) {
                  (loss_config_.pe_start - loss_config_.pe_limit) * r;
   const f64 pf = loss_config_.pf_limit +
                  (loss_config_.pf_start - loss_config_.pf_limit) * r;
-  ag::Variable loss;
-  for (const EnvPtr& env : batch) {
+  // Per-sample losses assemble in parallel (independent tape subgraphs) and
+  // combine in batch order, so the loss graph is identical at any width.
+  const i64 bs = static_cast<i64>(batch.size());
+  std::vector<ag::Variable> samples(static_cast<std::size_t>(bs));
+  parallel_for(0, bs, [&](i64 s) {
+    const EnvPtr& env = batch[static_cast<std::size_t>(s)];
     auto pred = model_.predict(env, /*with_forces=*/true);
     const f64 natoms = static_cast<f64>(env->natoms);
     ag::Variable de = op::add_scalar(
@@ -105,7 +110,11 @@ ag::Variable AdamTrainer::batch_loss(std::span<const EnvPtr> batch) {
         op::sub(pred.forces, ag::Variable(env->force_label));
     ag::Variable loss_f = op::scale(op::sum_all(op::square(df)),
                                     static_cast<f32>(pf / (3.0 * natoms)));
-    ag::Variable sample = op::add(loss_e, loss_f);
+    samples[static_cast<std::size_t>(s)] = op::add(loss_e, loss_f);
+  });
+  ag::Variable loss;
+  for (i64 s = 0; s < bs; ++s) {
+    const ag::Variable& sample = samples[static_cast<std::size_t>(s)];
     loss = loss.defined() ? op::add(loss, sample) : sample;
   }
   return op::scale(loss, 1.0f / static_cast<f32>(batch.size()));

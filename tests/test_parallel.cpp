@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <numeric>
 
 #include "parallel/thread_pool.hpp"
@@ -61,6 +62,88 @@ TEST(ThreadPool, GlobalParallelForWorks) {
   std::vector<std::atomic<int>> hits(64);
   parallel_for(0, 64, [&](i64 i) { ++hits[static_cast<std::size_t>(i)]; });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeRunsSerialOnce) {
+  ThreadPool pool(4);
+  i64 sum = 0;  // unsynchronized on purpose: the range must stay serial
+  pool.for_range(0, 10, [&](i64 i) { sum += i; }, /*grain=*/100);
+  EXPECT_EQ(sum, 45);
+  i64 blocks = 0;
+  pool.for_range_blocks(0, 10, [&](i64 lo, i64 hi) {
+    ++blocks;
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 10);
+  }, /*grain=*/100);
+  EXPECT_EQ(blocks, 1);
+}
+
+TEST(ThreadPool, ForRangePropagatesWorkerExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.for_range(
+          0, 1000,
+          [](i64 i) {
+            if (i == 617) throw std::runtime_error("worker boom");
+          },
+          /*grain=*/8),
+      std::runtime_error);
+  // The pool must still be usable after a failed region.
+  std::atomic<i64> sum{0};
+  pool.for_range(0, 100, [&](i64 i) { sum += i; }, /*grain=*/4);
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPool, NestedForRangeRunsSerially) {
+  ThreadPool pool(4);
+  std::atomic<int> nested_parallel{0};
+  pool.for_range(
+      0, 64,
+      [&](i64) {
+        EXPECT_TRUE(in_parallel_region());
+        // A nested region must execute inline on this worker.
+        i64 inner = 0;  // unsynchronized: safe only if nested runs serial
+        pool.for_range(0, 32, [&](i64 i) { inner += i; }, /*grain=*/1);
+        if (inner != 31 * 32 / 2) ++nested_parallel;
+      },
+      /*grain=*/1);
+  EXPECT_EQ(nested_parallel.load(), 0);
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(ThreadPool, SetNumThreadsCapsAndRestores) {
+  set_num_threads(2);
+  EXPECT_EQ(num_threads(), 2);
+  std::vector<std::atomic<int>> hits(128);
+  parallel_for(0, 128, [&](i64 i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  set_num_threads(0);
+  EXPECT_GE(num_threads(), 1);
+}
+
+TEST(ThreadPool, ParallelReduceIsWidthInvariant) {
+  // Chunk partition depends on the range only, partials combine in fixed
+  // order: sums must be bit-identical at widths 1 and 4.
+  const i64 n = 200000;
+  std::vector<f64> v(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)] = std::sin(static_cast<f64>(i)) * 1e-3;
+  }
+  auto chunk_sum = [&](i64 lo, i64 hi) {
+    f64 s = 0.0;
+    for (i64 i = lo; i < hi; ++i) s += v[static_cast<std::size_t>(i)];
+    return s;
+  };
+  set_num_threads(1);
+  const f64 serial = parallel_reduce_f64(0, n, kReduceChunk, chunk_sum);
+  set_num_threads(4);
+  const f64 parallel = parallel_reduce_f64(0, n, kReduceChunk, chunk_sum);
+  set_num_threads(0);
+  EXPECT_EQ(serial, parallel);  // bit-exact, not approximately equal
+}
+
+TEST(ThreadPool, ReduceEmptyRangeIsZero) {
+  EXPECT_EQ(parallel_reduce_f64(3, 3, 16, [](i64, i64) { return 1.0; }), 0.0);
 }
 
 }  // namespace

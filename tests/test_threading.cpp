@@ -1,0 +1,225 @@
+// Determinism suite for the multithreaded hot path (DESIGN.md "Threading &
+// determinism"): every parallel kernel must produce BIT-IDENTICAL results
+// at width 1 and width 4, and a short FEKF training run must follow the
+// same trajectory at both widths.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "deepmd/bmm.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/kernels.hpp"
+#include "train/trainer.hpp"
+
+namespace fekf {
+namespace {
+
+/// Restore the default width when a test exits, pass or fail.
+struct WidthGuard {
+  ~WidthGuard() { set_num_threads(0); }
+};
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(f32)) == 0;
+}
+
+Tensor random_tensor(i64 rows, i64 cols, u64 seed) {
+  Rng rng(seed);
+  return Tensor::randn(rows, cols, rng);
+}
+
+/// Evaluate `fn` at width 1 and width 4 and require bit-identical tensors.
+template <typename Fn>
+void expect_width_invariant(Fn&& fn) {
+  WidthGuard guard;
+  set_num_threads(1);
+  const Tensor serial = fn();
+  set_num_threads(4);
+  const Tensor threaded = fn();
+  EXPECT_TRUE(bitwise_equal(serial, threaded));
+}
+
+TEST(ThreadDeterminism, Gemm) {
+  // 128 rows x (64*96) flops/row exceeds the grain: the wide run splits.
+  const Tensor a = random_tensor(128, 64, 11);
+  const Tensor b = random_tensor(64, 96, 12);
+  expect_width_invariant([&] { return kernels::matmul(a, b); });
+  const Tensor at = random_tensor(64, 128, 13);
+  expect_width_invariant([&] { return kernels::matmul_tn(at, b); });
+  const Tensor bt = random_tensor(96, 64, 14);
+  expect_width_invariant([&] { return kernels::matmul_nt(a, bt); });
+  const Tensor bias = random_tensor(1, 96, 15);
+  expect_width_invariant([&] { return kernels::linear_fused(a, b, bias); });
+}
+
+TEST(ThreadDeterminism, ElementwiseAndReductions) {
+  const Tensor a = random_tensor(300, 200, 21);
+  const Tensor b = random_tensor(300, 200, 22);
+  expect_width_invariant([&] { return kernels::add(a, b); });
+  expect_width_invariant([&] { return kernels::mul(a, b); });
+  expect_width_invariant([&] { return kernels::tanh(a); });
+  expect_width_invariant([&] { return kernels::transpose(a); });
+  expect_width_invariant([&] { return kernels::sum_rows(a); });
+  expect_width_invariant([&] { return kernels::sum_cols(a); });
+  expect_width_invariant([&] { return kernels::sum_all(a); });
+  WidthGuard guard;
+  set_num_threads(1);
+  const f64 dot_serial = kernels::dot_all(a, b);
+  set_num_threads(4);
+  const f64 dot_threaded = kernels::dot_all(a, b);
+  EXPECT_EQ(dot_serial, dot_threaded);
+}
+
+TEST(ThreadDeterminism, Bmm) {
+  const i64 nb = 32, p = 8, q = 12, s = 16;
+  const Tensor x = random_tensor(nb * p, q, 31);
+  const Tensor y = random_tensor(nb * q, s, 32);
+  expect_width_invariant(
+      [&] { return deepmd::bmm_nn(ag::Variable(x), ag::Variable(y), p).value(); });
+  const Tensor xt = random_tensor(nb * q, p, 33);
+  expect_width_invariant(
+      [&] { return deepmd::bmm_tn(ag::Variable(xt), ag::Variable(y), q).value(); });
+  const Tensor yn = random_tensor(nb * s, q, 34);
+  expect_width_invariant([&] {
+    return deepmd::bmm_nt(ag::Variable(x), ag::Variable(yn), p, s).value();
+  });
+}
+
+TEST(ThreadDeterminism, PUpdate) {
+  const i64 n = 256;
+  Rng rng(41);
+  std::vector<f64> p0(static_cast<std::size_t>(n * n));
+  std::vector<f64> k(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    k[static_cast<std::size_t>(i)] = rng.gaussian();
+    for (i64 j = i; j < n; ++j) {
+      const f64 v = rng.gaussian();
+      p0[static_cast<std::size_t>(i * n + j)] = v;
+      p0[static_cast<std::size_t>(j * n + i)] = v;
+    }
+  }
+  WidthGuard guard;
+  auto run_fused = [&](i64 width) {
+    set_num_threads(width);
+    std::vector<f64> p = p0;
+    kernels::p_update_fused(p, k, 0.37, 0.98, n);
+    return p;
+  };
+  const std::vector<f64> serial = run_fused(1);
+  const std::vector<f64> threaded = run_fused(4);
+  EXPECT_EQ(std::memcmp(serial.data(), threaded.data(),
+                        serial.size() * sizeof(f64)), 0);
+
+  auto run_unfused = [&](i64 width) {
+    set_num_threads(width);
+    std::vector<f64> p = p0;
+    std::vector<f64> scratch(static_cast<std::size_t>(n * n));
+    kernels::p_update_unfused(p, k, 0.37, 0.98, scratch, n);
+    return p;
+  };
+  const std::vector<f64> serial_u = run_unfused(1);
+  const std::vector<f64> threaded_u = run_unfused(4);
+  EXPECT_EQ(std::memcmp(serial_u.data(), threaded_u.data(),
+                        serial_u.size() * sizeof(f64)), 0);
+}
+
+TEST(ThreadDeterminism, SymvAndDot) {
+  const i64 n = 512;
+  Rng rng(43);
+  std::vector<f64> p(static_cast<std::size_t>(n * n));
+  std::vector<f64> g(static_cast<std::size_t>(n));
+  for (auto& v : p) v = rng.gaussian();
+  for (auto& v : g) v = rng.gaussian();
+  WidthGuard guard;
+  auto run = [&](i64 width) {
+    set_num_threads(width);
+    std::vector<f64> y(static_cast<std::size_t>(n));
+    kernels::symv(p, g, y, n);
+    return y;
+  };
+  const std::vector<f64> serial = run(1);
+  const std::vector<f64> threaded = run(4);
+  EXPECT_EQ(std::memcmp(serial.data(), threaded.data(),
+                        serial.size() * sizeof(f64)), 0);
+  set_num_threads(1);
+  const f64 d1 = kernels::dot(p, p);
+  set_num_threads(4);
+  const f64 d4 = kernels::dot(p, p);
+  EXPECT_EQ(d1, d4);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a 50-step FEKF run follows the identical trajectory at widths
+// 1 and 4 (measurement assembly parallelizes over samples; every kernel is
+// width-invariant; combines are order-pinned).
+// ---------------------------------------------------------------------------
+
+deepmd::ModelConfig tiny_model() {
+  deepmd::ModelConfig cfg;
+  cfg.rcut = 5.0;
+  cfg.rcut_smth = 2.5;
+  cfg.embed_width = 8;
+  cfg.axis_neurons = 4;
+  cfg.fitting_width = 16;
+  return cfg;
+}
+
+TEST(ThreadDeterminism, FekfTrajectory50Steps) {
+  const data::SystemSpec& spec = data::get_system("Cu");
+  data::DatasetConfig dcfg;
+  dcfg.train_per_temperature = 2;
+  dcfg.test_per_temperature = 1;
+  data::Dataset dataset = data::build_dataset(spec, dcfg);
+
+  WidthGuard guard;
+  auto run = [&](i64 width) {
+    set_num_threads(width);
+    deepmd::DeepmdModel model(tiny_model(), spec.num_types());
+    model.fit_stats(dataset.train);
+    auto envs = train::prepare_all(model, dataset.train);
+    const i64 batch = std::min<i64>(4, static_cast<i64>(envs.size()));
+    std::span<const train::EnvPtr> batch_span(envs.data(),
+                                              static_cast<std::size_t>(batch));
+    train::TrainOptions opts;
+    opts.batch_size = batch;
+    optim::KalmanConfig kcfg;
+    kcfg.blocksize = 512;
+    train::KalmanTrainer trainer(model, kcfg, opts);
+    Rng group_rng(7);
+    auto groups =
+        train::make_force_groups(envs.front()->natoms, 4, group_rng);
+    std::vector<f64> checkpoints;
+    for (i64 step = 0; step < 50; ++step) {
+      trainer.energy_update(batch_span);
+      trainer.force_update(batch_span,
+                           groups[static_cast<std::size_t>(step % 4)]);
+      if (step % 10 == 9) {
+        f64 checksum = 0.0;
+        for (const ag::Variable& p : model.parameters()) {
+          const Tensor& t = p.value();
+          for (i64 i = 0; i < t.numel(); ++i) {
+            checksum += static_cast<f64>(t.data()[i]);
+          }
+        }
+        checkpoints.push_back(checksum);
+      }
+    }
+    train::Metrics final_rmse = train::evaluate(model, envs, -1, true);
+    checkpoints.push_back(final_rmse.energy_rmse);
+    checkpoints.push_back(final_rmse.force_rmse);
+    return checkpoints;
+  };
+  const std::vector<f64> serial = run(1);
+  const std::vector<f64> threaded = run(4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], threaded[i]) << "trajectory checkpoint " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fekf
