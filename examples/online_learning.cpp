@@ -41,7 +41,10 @@ int main(int argc, char** argv) {
   cli.flag("system", "Cu", "catalog system")
       .flag("per-round", "24", "new snapshots per arriving round")
       .flag("epochs", "5", "FEKF epochs per retraining round")
-      .flag("batch", "8", "FEKF batch size");
+      .flag("batch", "8", "FEKF batch size")
+      .flag("ckpt", "/tmp/fekf_online.ckpt",
+            "full-state training checkpoint written during each round "
+            "(empty disables)");
   if (!cli.parse(argc, argv)) return 0;
 
   const data::SystemSpec& spec = data::get_system(cli.get("system"));
@@ -81,6 +84,14 @@ int main(int argc, char** argv) {
             opts.batch_size = cli.get_int("batch");
             opts.max_epochs = cli.get_int("epochs");
             opts.eval_max_samples = 12;
+            // An online loop cannot afford to lose a round to a crash or a
+            // bad step: periodic full-state checkpoints (resumable
+            // bit-exactly via resume_from) + divergence sentinels are on
+            // for every retraining (DESIGN.md §10).
+            if (!cli.get("ckpt").empty()) {
+              opts.checkpoint_every = 8;
+              opts.checkpoint_path = cli.get("ckpt");
+            }
             return opts;
           }());
       first = false;
@@ -98,8 +109,13 @@ int main(int argc, char** argv) {
     auto corpus_envs = train::prepare_all(model, corpus);
 
     Stopwatch watch;
-    trainer->train(corpus_envs, {});
+    train::TrainResult result = trainer->train(corpus_envs, {});
     const f64 seconds = watch.seconds();
+    for (const FaultEvent& event : result.faults.events) {
+      std::printf("   recovered from %s at step %lld (%s)\n",
+                  event.kind.c_str(), static_cast<long long>(event.step),
+                  event.action.c_str());
+    }
 
     train::Metrics after = train::evaluate(model, fresh_envs, 12, true);
     table.add_row({std::to_string(round + 1),

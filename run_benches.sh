@@ -39,6 +39,8 @@ run ./build/bench/bench_table4_convergence --train 32 --adam-epochs 8 --fekf-epo
 run ./build/bench/bench_ablation_stabilizers --train 40 --epochs 6
 run ./build/bench/bench_scaling --train 64 --batch 16 --iters 2 \
   --threads 1,2,4,8 --json "$ARTIFACTS/scaling.json"
+run ./build/bench/bench_resilience --train 24 --epochs 3 \
+  --ckpt "$ARTIFACTS/resilience.ckpt" --json "$ARTIFACTS/resilience.json"
 echo "  ]" >> "$INDEX"
 echo "}" >> "$INDEX"
 echo "artifact index: $INDEX"

@@ -1,0 +1,102 @@
+#include "core/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fekf {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNanGrad:
+      return "nan_grad";
+    case FaultKind::kCorruptCkpt:
+      return "corrupt_ckpt";
+    case FaultKind::kRankFail:
+      return "rank_fail";
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  if (const char* env = std::getenv("FEKF_FAULT_SPEC")) {
+    configure(env);
+  }
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Arm& a : arms_) a = Arm{};
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  clear();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+
+    i64 at_step = -1;
+    const std::size_t at = entry.find('@');
+    if (at != std::string::npos) {
+      const std::string trigger = entry.substr(at + 1);
+      entry.resize(at);
+      constexpr const char* kStepPrefix = "step=";
+      FEKF_CHECK(trigger.rfind(kStepPrefix, 0) == 0,
+                 "fault spec trigger must be 'step=N', got '" + trigger +
+                     "'");
+      char* endp = nullptr;
+      const char* num = trigger.c_str() + 5;
+      at_step = static_cast<i64>(std::strtoll(num, &endp, 10));
+      FEKF_CHECK(endp != num && *endp == '\0' && at_step >= 0,
+                 "bad fault step in '" + trigger + "'");
+    }
+
+    int kind = -1;
+    for (int k = 0; k < kNumFaultKinds; ++k) {
+      if (entry == fault_kind_name(static_cast<FaultKind>(k))) kind = k;
+    }
+    FEKF_CHECK(kind >= 0, "unknown fault kind '" + entry +
+                              "' (want nan_grad|corrupt_ckpt|rank_fail)");
+    arms_[kind] = Arm{/*armed=*/true, /*fired=*/false, at_step};
+  }
+}
+
+bool FaultInjector::fire(FaultKind kind, i64 step) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Arm& arm = arms_[static_cast<int>(kind)];
+  if (!arm.armed || arm.fired) return false;
+  if (arm.at_step >= 0 && step < arm.at_step) return false;
+  arm.fired = true;
+  return true;
+}
+
+bool FaultInjector::armed(FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Arm& arm = arms_[static_cast<int>(kind)];
+  return arm.armed && !arm.fired;
+}
+
+void FaultInjector::corrupt_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  FEKF_CHECK(f != nullptr, "cannot open '" + path + "' to corrupt it");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  FEKF_CHECK(size > 0, "cannot corrupt empty file '" + path + "'");
+  const long target = size / 2;
+  std::fseek(f, target, SEEK_SET);
+  const int c = std::fgetc(f);
+  std::fseek(f, target, SEEK_SET);
+  std::fputc((c == EOF ? 0 : c) ^ 0x20, f);  // flip a bit, stay printable
+  std::fclose(f);
+}
+
+}  // namespace fekf

@@ -1,0 +1,104 @@
+// Deterministic fault injection + the fault log carried in training
+// results.
+//
+// The resilience contract (DESIGN.md §10) is only credible if every
+// recovery path is exercised by tests, not just claimed. FaultInjector is
+// the single switchboard: a spec string — from the FEKF_FAULT_SPEC
+// environment variable or configure() — arms one-shot faults that the
+// instrumented sites (trainer gradient assembly, checkpoint writer, the
+// virtual cluster) poll at deterministic points:
+//
+//   nan_grad@step=17     poison the measurement gradient at optimizer
+//                        step 17 (trainer sentinels must roll back)
+//   corrupt_ckpt         flip a byte in the next checkpoint written
+//                        (the loader's checksum must reject it)
+//   rank_fail@step=30    kill the highest live rank of the virtual
+//                        cluster at training step 30 (its shard is
+//                        redistributed and the re-shard is charged to the
+//                        simulated-time ledger)
+//
+// Specs are comma-separated ("nan_grad@step=3,rank_fail@step=5"). A fault
+// without "@step=N" fires at the first opportunity. Every fault fires at
+// most once per configure(), so injected runs are exactly reproducible —
+// the recovery-determinism tests rely on it.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace fekf {
+
+enum class FaultKind : int { kNanGrad = 0, kCorruptCkpt = 1, kRankFail = 2 };
+inline constexpr int kNumFaultKinds = 3;
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One recovery (or injection) event, recorded by trainers and the virtual
+/// cluster in the order it happened.
+struct FaultEvent {
+  i64 step = 0;        ///< optimizer / training step the event hit
+  std::string kind;    ///< signal: "nan_grad", "nonfinite_loss",
+                       ///< "exploding_loss", "worker_exception",
+                       ///< "corrupt_ckpt", "rank_fail", ...
+  std::string action;  ///< recovery taken: "rollback_skip_batch",
+                       ///< "reshard", "injected", ...
+  std::string detail;  ///< free text (exception message, signal values)
+};
+
+struct FaultLog {
+  std::vector<FaultEvent> events;
+
+  void record(i64 step, std::string kind, std::string action,
+              std::string detail = {}) {
+    events.push_back({step, std::move(kind), std::move(action),
+                      std::move(detail)});
+  }
+  i64 count(std::string_view kind) const {
+    i64 n = 0;
+    for (const FaultEvent& e : events) {
+      if (e.kind == kind) ++n;
+    }
+    return n;
+  }
+  bool empty() const { return events.empty(); }
+};
+
+class FaultInjector {
+ public:
+  /// Process-wide injector, armed from FEKF_FAULT_SPEC on first use.
+  static FaultInjector& instance();
+
+  /// (Re-)arm from a spec string; clears previous arms and fired flags.
+  /// Throws Error on a malformed spec.
+  void configure(const std::string& spec);
+  /// Disarm everything.
+  void clear();
+
+  /// Poll point: true exactly once, when `kind` is armed and `step` has
+  /// reached its trigger step (always true for step-less arms). Thread-safe.
+  bool fire(FaultKind kind, i64 step);
+
+  /// True if `kind` is armed and has not fired yet.
+  bool armed(FaultKind kind) const;
+
+  /// Flip one byte in the middle of `path` (the corrupt_ckpt payload).
+  static void corrupt_file(const std::string& path);
+
+ private:
+  FaultInjector();
+
+  struct Arm {
+    bool armed = false;
+    bool fired = false;
+    i64 at_step = -1;  ///< -1: first opportunity
+  };
+
+  mutable std::mutex mutex_;
+  Arm arms_[kNumFaultKinds];
+};
+
+}  // namespace fekf

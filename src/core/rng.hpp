@@ -29,6 +29,16 @@ class SplitMix64 {
   u64 state_;
 };
 
+/// Complete Rng stream state — exposed so checkpoints can round-trip a
+/// generator mid-stream (resumed training must draw the exact sequence the
+/// uninterrupted run would have). The gaussian pair cache is part of the
+/// stream: dropping it would desynchronize the next gaussian() draw.
+struct RngState {
+  std::array<u64, 4> s{};
+  bool have_gauss = false;
+  f64 cached_gauss = 0.0;
+};
+
 /// xoshiro256** — the workhorse generator. Satisfies the bare minimum of
 /// UniformRandomBitGenerator so it can also feed <random> adaptors in tests.
 class Rng {
@@ -103,6 +113,13 @@ class Rng {
   }
 
   f64 gaussian(f64 mean, f64 stddev) { return mean + stddev * gaussian(); }
+
+  RngState state() const { return {state_, have_gauss_, cached_gauss_}; }
+  void set_state(const RngState& s) {
+    state_ = s.s;
+    have_gauss_ = s.have_gauss;
+    cached_gauss_ = s.cached_gauss;
+  }
 
   /// Derive an independent child stream (for per-rank / per-worker use).
   Rng split() {

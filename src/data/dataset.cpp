@@ -48,6 +48,19 @@ BatchSampler::BatchSampler(i64 dataset_size, i64 batch_size, u64 seed)
   reshuffle();
 }
 
+void BatchSampler::set_state(const State& state) {
+  FEKF_CHECK(state.order.size() == order_.size(),
+             "sampler state covers " + std::to_string(state.order.size()) +
+                 " samples, dataset has " + std::to_string(order_.size()));
+  FEKF_CHECK(state.cursor >= 0 &&
+                 state.cursor <= static_cast<i64>(order_.size()),
+             "sampler cursor " + std::to_string(state.cursor) +
+                 " out of range");
+  order_ = state.order;
+  cursor_ = state.cursor;
+  rng_.set_state(state.rng);
+}
+
 void BatchSampler::reshuffle() {
   rng_.shuffle(order_);
   cursor_ = 0;

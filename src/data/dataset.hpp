@@ -49,6 +49,17 @@ class BatchSampler {
 
   i64 batches_per_epoch() const;
 
+  /// Full sampler state (epoch permutation, position within it, shuffle
+  /// RNG) — round-tripped by training checkpoints so a resumed run visits
+  /// the exact batch sequence of the uninterrupted one.
+  struct State {
+    std::vector<i64> order;
+    i64 cursor = 0;
+    RngState rng;
+  };
+  State state() const { return {order_, cursor_, rng_.state()}; }
+  void set_state(const State& state);
+
  private:
   void reshuffle();
 

@@ -1,8 +1,6 @@
 #include "deepmd/serialize.hpp"
 
-#include <cinttypes>
-#include <cstdio>
-#include <memory>
+#include <cmath>
 
 namespace fekf::deepmd {
 
@@ -10,152 +8,155 @@ namespace {
 
 constexpr const char* kMagic = "fekf-deepmd-model-v1";
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-void write_vector(std::FILE* f, const char* name,
+void write_vector(TextWriter& w, const char* name,
                   const std::vector<f64>& v) {
-  std::fprintf(f, "%s %zu", name, v.size());
-  for (const f64 x : v) std::fprintf(f, " %a", x);
-  std::fprintf(f, "\n");
+  w.key(name);
+  w.size(v.size());
+  for (const f64 x : v) w.f64v(x);
 }
 
-void write_ivector(std::FILE* f, const char* name,
+void write_ivector(TextWriter& w, const char* name,
                    const std::vector<i64>& v) {
-  std::fprintf(f, "%s %zu", name, v.size());
-  for (const i64 x : v) std::fprintf(f, " %" PRId64, x);
-  std::fprintf(f, "\n");
+  w.key(name);
+  w.size(v.size());
+  for (const i64 x : v) w.i64v(x);
 }
 
-std::vector<f64> read_vector(std::FILE* f, const char* name) {
-  char key[64];
-  std::size_t n = 0;
-  FEKF_CHECK(std::fscanf(f, "%63s %zu", key, &n) == 2 &&
-                 std::string(key) == name,
-             std::string("expected field '") + name + "'");
-  std::vector<f64> v(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    FEKF_CHECK(std::fscanf(f, "%la", &v[i]) == 1, "truncated vector");
-  }
+std::vector<f64> read_vector(TextReader& r, const char* name) {
+  r.expect(name);
+  const u64 n = r.read_u64();
+  std::vector<f64> v;
+  r.read_f64s(v, static_cast<std::size_t>(n));
   return v;
 }
 
-std::vector<i64> read_ivector(std::FILE* f, const char* name) {
-  char key[64];
-  std::size_t n = 0;
-  FEKF_CHECK(std::fscanf(f, "%63s %zu", key, &n) == 2 &&
-                 std::string(key) == name,
-             std::string("expected field '") + name + "'");
-  std::vector<i64> v(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    FEKF_CHECK(std::fscanf(f, "%" SCNd64, &v[i]) == 1, "truncated vector");
-  }
+std::vector<i64> read_ivector(TextReader& r, const char* name) {
+  r.expect(name);
+  const u64 n = r.read_u64();
+  std::vector<i64> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = r.read_i64();
   return v;
 }
 
 }  // namespace
 
-void save_model(const DeepmdModel& model, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "w"));
-  FEKF_CHECK(f != nullptr, "cannot open '" + path + "' for writing");
+void write_model_text(const DeepmdModel& model, TextWriter& w) {
   const ModelConfig& cfg = model.config();
-  std::fprintf(f.get(), "%s\n", kMagic);
-  std::fprintf(f.get(),
-               "config %d %a %a %" PRId64 " %" PRId64 " %" PRId64 " %d\n",
-               model.num_types(), cfg.rcut, cfg.rcut_smth, cfg.embed_width,
-               cfg.axis_neurons, cfg.fitting_width,
-               static_cast<int>(cfg.fusion));
-  write_ivector(f.get(), "sel", model.sel());
+  w.key(kMagic);
+  w.key("config");
+  w.i64v(model.num_types());
+  w.f64v(cfg.rcut);
+  w.f64v(cfg.rcut_smth);
+  w.i64v(cfg.embed_width);
+  w.i64v(cfg.axis_neurons);
+  w.i64v(cfg.fitting_width);
+  w.i64v(static_cast<i64>(cfg.fusion));
+  write_ivector(w, "sel", model.sel());
   const EnvStats& env = model.env_stats();
-  write_vector(f.get(), "davg", env.davg);
-  write_vector(f.get(), "dstd_r", env.dstd_r);
-  write_vector(f.get(), "dstd_a", env.dstd_a);
+  write_vector(w, "davg", env.davg);
+  write_vector(w, "dstd_r", env.dstd_r);
+  write_vector(w, "dstd_a", env.dstd_a);
   const EnergyStats& es = model.energy_stats();
-  write_vector(f.get(), "bias", es.bias_per_type);
-  std::fprintf(f.get(), "residual_std %a\n", es.residual_std);
+  write_vector(w, "bias", es.bias_per_type);
+  w.key("residual_std");
+  w.f64v(es.residual_std);
 
   auto params = model.parameters();
-  std::fprintf(f.get(), "params %zu\n", params.size());
+  w.key("params");
+  w.size(params.size());
   for (const ag::Variable& p : params) {
-    std::fprintf(f.get(), "%" PRId64 " %" PRId64, p.value().rows(),
-                 p.value().cols());
+    w.key("");
+    w.i64v(p.value().rows());
+    w.i64v(p.value().cols());
     const f32* data = p.value().data();
     for (i64 i = 0; i < p.numel(); ++i) {
-      std::fprintf(f.get(), " %a", static_cast<f64>(data[i]));
+      w.f64v(static_cast<f64>(data[i]));
     }
-    std::fprintf(f.get(), "\n");
   }
+  w.end_line();
 }
 
-DeepmdModel load_model(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "r"));
-  FEKF_CHECK(f != nullptr, "cannot open '" + path + "' for reading");
-  char magic[64];
-  FEKF_CHECK(std::fscanf(f.get(), "%63s", magic) == 1 &&
-                 std::string(magic) == kMagic,
-             "'" + path + "' is not a fekf model file");
+DeepmdModel read_model_text(TextReader& r) {
+  const std::string_view magic = r.token();
+  if (magic != kMagic) {
+    r.malformed("not a fekf model (expected magic '" + std::string(kMagic) +
+                "', got '" + std::string(magic.substr(0, 40)) + "')");
+  }
 
+  r.expect("config");
   ModelConfig cfg;
-  int num_types = 0;
-  int fusion = 0;
-  char key[64];
-  FEKF_CHECK(std::fscanf(f.get(),
-                         "%63s %d %la %la %" SCNd64 " %" SCNd64 " %" SCNd64
-                         " %d",
-                         key, &num_types, &cfg.rcut, &cfg.rcut_smth,
-                         &cfg.embed_width, &cfg.axis_neurons,
-                         &cfg.fitting_width, &fusion) == 8 &&
-                 std::string(key) == "config",
-             "bad config line");
+  const i64 num_types = r.read_i64();
+  if (num_types <= 0 || num_types > 1024) {
+    r.malformed("implausible num_types " + std::to_string(num_types));
+  }
+  cfg.rcut = r.read_f64();
+  cfg.rcut_smth = r.read_f64();
+  cfg.embed_width = r.read_i64();
+  cfg.axis_neurons = r.read_i64();
+  cfg.fitting_width = r.read_i64();
+  const i64 fusion = r.read_i64();
   cfg.fusion = static_cast<FusionLevel>(fusion);
 
   EnvStats env;
-  std::vector<i64> sel = read_ivector(f.get(), "sel");
-  env.davg = read_vector(f.get(), "davg");
-  env.dstd_r = read_vector(f.get(), "dstd_r");
-  env.dstd_a = read_vector(f.get(), "dstd_a");
+  std::vector<i64> sel = read_ivector(r, "sel");
+  env.davg = read_vector(r, "davg");
+  env.dstd_r = read_vector(r, "dstd_r");
+  env.dstd_a = read_vector(r, "dstd_a");
   env.suggested_sel = sel;
   cfg.sel = sel;
   EnergyStats es;
-  es.bias_per_type = read_vector(f.get(), "bias");
-  f64 residual = 1.0;
-  FEKF_CHECK(std::fscanf(f.get(), "%63s %la", key, &residual) == 2 &&
-                 std::string(key) == "residual_std",
-             "bad residual_std line");
-  es.residual_std = residual;
+  es.bias_per_type = read_vector(r, "bias");
+  r.expect("residual_std");
+  es.residual_std = r.read_f64();
 
-  DeepmdModel model(cfg, num_types);
+  DeepmdModel model(cfg, static_cast<i32>(num_types));
   model.set_stats(std::move(env), std::move(es));
 
-  std::size_t nparams = 0;
-  FEKF_CHECK(std::fscanf(f.get(), "%63s %zu", key, &nparams) == 2 &&
-                 std::string(key) == "params",
-             "bad params line");
+  r.expect("params");
+  const u64 nparams = r.read_u64();
   auto params = model.parameters();
-  FEKF_CHECK(nparams == params.size(),
-             "parameter count mismatch: file has " + std::to_string(nparams) +
-                 ", architecture has " + std::to_string(params.size()));
+  if (nparams != params.size()) {
+    r.malformed("parameter count mismatch: file has " +
+                std::to_string(nparams) + " leaves, architecture has " +
+                std::to_string(params.size()));
+  }
   for (ag::Variable& p : params) {
-    i64 rows = 0, cols = 0;
-    FEKF_CHECK(std::fscanf(f.get(), "%" SCNd64 " %" SCNd64, &rows, &cols) ==
-                   2,
-               "truncated parameter header");
-    FEKF_CHECK(rows == p.value().rows() && cols == p.value().cols(),
-               "parameter shape mismatch");
+    const i64 rows = r.read_i64();
+    const i64 cols = r.read_i64();
+    if (rows != p.value().rows() || cols != p.value().cols()) {
+      r.malformed("parameter shape mismatch: file has " +
+                  std::to_string(rows) + "x" + std::to_string(cols) +
+                  ", architecture expects " +
+                  std::to_string(p.value().rows()) + "x" +
+                  std::to_string(p.value().cols()));
+    }
     Tensor t(rows, cols);
     for (i64 i = 0; i < t.numel(); ++i) {
-      f64 v = 0.0;
-      FEKF_CHECK(std::fscanf(f.get(), "%la", &v) == 1,
-                 "truncated parameter data");
-      t.data()[i] = static_cast<f32>(v);
+      t.data()[i] = static_cast<f32>(r.read_f64());
     }
     p.set_value(t);
   }
   return model;
+}
+
+void save_model(const DeepmdModel& model, const std::string& path) {
+  TextWriter w;
+  w.reserve(static_cast<std::size_t>(model.num_parameters()) * 24 + 4096);
+  write_model_text(model, w);
+  const std::string& body = w.str();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  FEKF_CHECK(f != nullptr, "cannot open '" + path + "' for writing");
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  FEKF_CHECK(ok, "short write to '" + path + "'");
+}
+
+DeepmdModel load_model(const std::string& path) {
+  const std::string text = read_file(path);
+  TextReader r(text, path);
+  return read_model_text(r);
 }
 
 }  // namespace fekf::deepmd

@@ -1,14 +1,19 @@
 // Model checkpointing: save/restore a trained DeePMD model (architecture,
 // normalization statistics, energy bias, and weights) to a portable text
 // file. Used by the online-learning workflow (warm restarts across
-// retraining sessions) and by inference tools (md_with_model).
+// retraining sessions), by inference tools (md_with_model), and embedded
+// verbatim as the model section of full training checkpoints
+// (train/checkpoint.hpp).
 //
 // Format: a line-oriented header followed by one hex-float (%a) per
 // parameter — bit-exact round-trips without binary-endianness concerns.
+// Every malformed token is rejected with a single-line Error naming the
+// file, the line number, and what was expected (core/textio.hpp).
 #pragma once
 
 #include <string>
 
+#include "core/textio.hpp"
 #include "deepmd/model.hpp"
 
 namespace fekf::deepmd {
@@ -19,5 +24,14 @@ void save_model(const DeepmdModel& model, const std::string& path);
 /// Reconstruct a model from `path`. The returned model is ready for
 /// prepare()/predict() (stats included).
 DeepmdModel load_model(const std::string& path);
+
+/// Append the model's serialized form (magic line, config, stats, params)
+/// to `writer` — byte-identical to a model file's contents.
+void write_model_text(const DeepmdModel& model, TextWriter& writer);
+
+/// Parse a model from `reader`, positioned at the magic token; consumes
+/// exactly the tokens write_model_text produced. Malformed input fails
+/// loudly with the reader's file/line diagnostics.
+DeepmdModel read_model_text(TextReader& reader);
 
 }  // namespace fekf::deepmd

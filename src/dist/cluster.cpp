@@ -2,12 +2,30 @@
 
 #include <cmath>
 
+#include "core/fault.hpp"
 #include "data/dataset.hpp"
 
 namespace fekf::dist {
 
 using train::EnvPtr;
 using train::Measurement;
+
+void InterconnectModel::validate() const {
+  FEKF_CHECK(std::isfinite(bandwidth_gbps) && bandwidth_gbps > 0.0,
+             "InterconnectModel.bandwidth_gbps must be finite and > 0 "
+             "(got " + std::to_string(bandwidth_gbps) + ")");
+  FEKF_CHECK(std::isfinite(latency_s) && latency_s >= 0.0,
+             "InterconnectModel.latency_s must be finite and >= 0 (got " +
+                 std::to_string(latency_s) + ")");
+}
+
+void DistributedConfig::validate() const {
+  FEKF_CHECK(ranks >= 1, "DistributedConfig.ranks must be >= 1 (got " +
+                             std::to_string(ranks) + ")");
+  options.validate();
+  kalman.validate();
+  interconnect.validate();
+}
 
 namespace {
 
@@ -40,11 +58,12 @@ ShardResult run_shard(deepmd::DeepmdModel& model, optim::FlatParams& flat,
 DistributedResult train_fekf_distributed(
     deepmd::DeepmdModel& model, std::span<const EnvPtr> train_envs,
     std::span<const EnvPtr> test_envs, const DistributedConfig& config) {
-  FEKF_CHECK(config.ranks >= 1, "need at least one rank");
+  config.validate();
   FEKF_CHECK(config.options.batch_size >= config.ranks,
              "global batch must cover all ranks");
 
   DistributedResult result;
+  i64 live_ranks = config.ranks;
   optim::FlatParams flat(model.parameters());
   auto blocks =
       optim::split_blocks(model.parameter_layout(), config.kalman.blocksize);
@@ -64,9 +83,9 @@ DistributedResult train_fekf_distributed(
   auto reduced_update =
       [&](std::span<const EnvPtr> batch,
           const std::function<Measurement(std::span<const EnvPtr>)>& measure,
-          f64 step_norm_cap) {
+          std::optional<f64> step_norm_cap) {
         const i64 bs = static_cast<i64>(batch.size());
-        const i64 ranks = config.ranks;
+        const i64 ranks = live_ranks;
         std::fill(grad.begin(), grad.end(), 0.0);
         f64 abe = 0.0;
         f64 max_shard_seconds = 0.0;
@@ -118,6 +137,27 @@ DistributedResult train_fekf_distributed(
       for (const i64 idx : indices) {
         batch.push_back(train_envs[static_cast<std::size_t>(idx)]);
       }
+      const i64 step_index = result.train.steps + 1;
+      if (FaultInjector::instance().fire(FaultKind::kRankFail, step_index)) {
+        // The highest live rank dies. Its batch shard is redistributed
+        // across the survivors by the lo/hi split above, and the survivors
+        // re-sync the authoritative weights — charged to the simulated
+        // clock as one weight-payload allreduce among the survivors.
+        FEKF_CHECK(live_ranks > 1,
+                   "injected rank failure left no surviving ranks");
+        --live_ranks;
+        const f64 reshard_s =
+            config.interconnect.allreduce_seconds(grad_payload, live_ranks);
+        result.comm.reshard_events += 1;
+        result.comm.reshard_bytes +=
+            InterconnectModel::allreduce_bytes(grad_payload, live_ranks);
+        result.comm.reshard_seconds += reshard_s;
+        result.simulated_seconds += reshard_s;
+        result.train.faults.record(
+            step_index, "rank_fail", "reshard",
+            "rank " + std::to_string(live_ranks) + " failed; " +
+                std::to_string(live_ranks) + " survivors");
+      }
       reduced_update(
           batch,
           [&](std::span<const EnvPtr> shard) {
@@ -133,7 +173,7 @@ DistributedResult train_fekf_distributed(
               return train::force_measurement(model, shard, group,
                                               config.options.force_prefactor);
             },
-            std::numeric_limits<f64>::quiet_NaN());
+            /*step_norm_cap=*/std::nullopt);
       }
       ++result.train.steps;
     }
@@ -159,6 +199,7 @@ DistributedResult train_fekf_distributed(
     }
   }
   result.train.total_seconds = total_watch.seconds();
+  result.surviving_ranks = live_ranks;
   if (!result.train.history.empty()) {
     result.train.final_train = result.train.history.back().train;
     result.train.final_test = result.train.history.back().test;

@@ -26,6 +26,9 @@ struct InterconnectModel {
   f64 latency_s = 5e-6;        ///< per-hop message latency
   f64 bandwidth_gbps = 25.0;   ///< GB/s per link (paper: RoCE 25 GB/s)
 
+  /// Reject non-positive bandwidth / negative latency with a clear Error.
+  void validate() const;
+
   /// Ring allreduce: 2 (r-1) hops, each moving bytes/r.
   f64 allreduce_seconds(i64 bytes, i64 ranks) const {
     if (ranks <= 1) return 0.0;
@@ -47,6 +50,13 @@ struct CommLedger {
   i64 error_bytes = 0;     ///< cumulative allreduced ABE scalars
   i64 steps = 0;
   f64 comm_seconds = 0.0;  ///< simulated time spent in allreduce
+  // Rank-failure recovery (FEKF_FAULT_SPEC=rank_fail@step=N): when a rank
+  // dies its shard is redistributed across the survivors, who re-sync the
+  // authoritative weight vector — charged to the simulated clock as one
+  // weight-payload allreduce among the survivors.
+  i64 reshard_events = 0;
+  i64 reshard_bytes = 0;
+  f64 reshard_seconds = 0.0;
 };
 
 struct DistributedConfig {
@@ -54,6 +64,9 @@ struct DistributedConfig {
   train::TrainOptions options;       ///< batch_size = GLOBAL batch
   optim::KalmanConfig kalman;
   InterconnectModel interconnect;
+
+  /// Validates ranks, options, kalman, and interconnect together.
+  void validate() const;
 };
 
 struct DistributedResult {
@@ -62,6 +75,7 @@ struct DistributedResult {
   f64 simulated_seconds_to_converge = -1.0;
   f64 compute_seconds = 0.0;    ///< simulated max-rank compute component
   CommLedger comm;
+  i64 surviving_ranks = 0;      ///< ranks still alive when the run ended
 };
 
 /// Data-parallel FEKF on the virtual cluster. Each step shards the global

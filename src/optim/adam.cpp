@@ -4,10 +4,42 @@
 
 namespace fekf::optim {
 
+void AdamConfig::validate() const {
+  FEKF_CHECK(std::isfinite(lr) && lr > 0.0,
+             "AdamConfig.lr must be positive, got " + std::to_string(lr));
+  FEKF_CHECK(beta1 >= 0.0 && beta1 < 1.0,
+             "AdamConfig.beta1 must be in [0, 1), got " +
+                 std::to_string(beta1));
+  FEKF_CHECK(beta2 >= 0.0 && beta2 < 1.0,
+             "AdamConfig.beta2 must be in [0, 1), got " +
+                 std::to_string(beta2));
+  FEKF_CHECK(std::isfinite(eps) && eps > 0.0,
+             "AdamConfig.eps must be positive, got " + std::to_string(eps));
+  FEKF_CHECK(decay_rate > 0.0 && decay_rate <= 1.0,
+             "AdamConfig.decay_rate must be in (0, 1], got " +
+                 std::to_string(decay_rate));
+  FEKF_CHECK(decay_steps > 0, "AdamConfig.decay_steps must be positive, "
+                              "got " + std::to_string(decay_steps));
+  FEKF_CHECK(std::isfinite(lr_scale) && lr_scale > 0.0,
+             "AdamConfig.lr_scale must be positive, got " +
+                 std::to_string(lr_scale));
+}
+
 Adam::Adam(i64 size, AdamConfig config) : config_(config) {
+  config_.validate();
   FEKF_CHECK(size > 0, "empty parameter vector");
   m_.assign(static_cast<std::size_t>(size), 0.0);
   v_.assign(static_cast<std::size_t>(size), 0.0);
+}
+
+void Adam::set_state(const AdamState& state) {
+  FEKF_CHECK(state.m.size() == m_.size() && state.v.size() == v_.size(),
+             "AdamState sized for " + std::to_string(state.m.size()) +
+                 " parameters, optimizer has " + std::to_string(m_.size()));
+  FEKF_CHECK(state.t >= 0, "AdamState.t must be >= 0");
+  m_ = state.m;
+  v_ = state.v;
+  t_ = state.t;
 }
 
 f64 Adam::current_lr() const {

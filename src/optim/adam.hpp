@@ -21,6 +21,18 @@ struct AdamConfig {
   /// Table 1 default: "readjusted by multiplying ... square root of the
   /// minibatch").
   f64 lr_scale = 1.0;
+
+  /// Reject unusable configurations with a clear Error naming the field.
+  void validate() const;
+};
+
+/// Full optimizer state — the first and second moments plus the step
+/// counter the bias correction and lr schedule depend on. Round-tripped by
+/// training checkpoints and by the sentinels' rollback snapshots.
+struct AdamState {
+  std::vector<f64> m;
+  std::vector<f64> v;
+  i64 t = 0;
 };
 
 class Adam {
@@ -32,6 +44,9 @@ class Adam {
 
   f64 current_lr() const;
   i64 steps() const { return t_; }
+
+  AdamState state() const { return {m_, v_, t_}; }
+  void set_state(const AdamState& state);
 
  private:
   AdamConfig config_;

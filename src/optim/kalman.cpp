@@ -7,9 +7,40 @@
 
 namespace fekf::optim {
 
+namespace {
+
+bool finite(f64 v) { return std::isfinite(v); }
+
+}  // namespace
+
+void KalmanConfig::validate() const {
+  FEKF_CHECK(blocksize > 0, "KalmanConfig.blocksize must be positive, got " +
+                                std::to_string(blocksize));
+  FEKF_CHECK(finite(lambda0) && lambda0 > 0.0 && lambda0 <= 1.0,
+             "KalmanConfig.lambda0 must be in (0, 1], got " +
+                 std::to_string(lambda0));
+  FEKF_CHECK(finite(nu) && nu > 0.0 && nu <= 1.0,
+             "KalmanConfig.nu must be in (0, 1], got " + std::to_string(nu));
+  FEKF_CHECK(finite(p_init) && p_init > 0.0,
+             "KalmanConfig.p_init must be positive and finite, got " +
+                 std::to_string(p_init));
+  FEKF_CHECK(finite(p_max), "KalmanConfig.p_max must be finite (<= 0 "
+                            "disables), got " + std::to_string(p_max));
+  FEKF_CHECK(finite(process_noise) && process_noise >= 0.0,
+             "KalmanConfig.process_noise must be >= 0 and finite, got " +
+                 std::to_string(process_noise));
+  FEKF_CHECK(finite(max_step_norm),
+             "KalmanConfig.max_step_norm must be finite (<= 0 disables), "
+             "got " + std::to_string(max_step_norm));
+  FEKF_CHECK(p_max <= 0.0 || p_max >= p_init,
+             "KalmanConfig.p_max (" + std::to_string(p_max) +
+                 ") must be >= p_init (" + std::to_string(p_init) + ")");
+}
+
 KalmanOptimizer::KalmanOptimizer(std::vector<BlockSpec> blocks,
                                  KalmanConfig config)
     : blocks_(std::move(blocks)), config_(config), lambda_(config.lambda0) {
+  config_.validate();
   FEKF_CHECK(!blocks_.empty(), "no parameter blocks");
   for (const BlockSpec& b : blocks_) {
     FEKF_CHECK(b.offset == total_, "blocks must tile the parameter vector");
@@ -27,19 +58,72 @@ KalmanOptimizer::KalmanOptimizer(std::vector<BlockSpec> blocks,
 
 void KalmanOptimizer::reset() {
   lambda_ = config_.lambda0;
+  last_max_diag_ = config_.p_init;
   for (std::size_t b = 0; b < blocks_.size(); ++b) {
     const i64 n = blocks_[b].size;
     p_[b].assign(static_cast<std::size_t>(n * n), 0.0);
     for (i64 i = 0; i < n; ++i) {
-      p_[b][static_cast<std::size_t>(i * n + i)] = 1.0;
+      p_[b][static_cast<std::size_t>(i * n + i)] = config_.p_init;
     }
   }
 }
 
+KalmanState KalmanOptimizer::state() const { return {lambda_, p_}; }
+
+void KalmanOptimizer::set_state(const KalmanState& state) {
+  FEKF_CHECK(state.p.size() == p_.size(),
+             "KalmanState has " + std::to_string(state.p.size()) +
+                 " blocks, optimizer has " + std::to_string(p_.size()));
+  for (std::size_t b = 0; b < p_.size(); ++b) {
+    FEKF_CHECK(state.p[b].size() == p_[b].size(),
+               "KalmanState block " + std::to_string(b) + " has " +
+                   std::to_string(state.p[b].size()) + " entries, expected " +
+                   std::to_string(p_[b].size()));
+  }
+  lambda_ = state.lambda;
+  p_ = state.p;
+}
+
+void KalmanOptimizer::recondition() {
+  if (!std::isfinite(lambda_) || lambda_ <= 0.0) lambda_ = config_.lambda0;
+  f64 max_diag_after = 0.0;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const i64 n = blocks_[b].size;
+    std::vector<f64>& pb = p_[b];
+    bool healthy = true;
+    for (const f64 v : pb) {
+      if (!std::isfinite(v)) {
+        healthy = false;
+        break;
+      }
+    }
+    if (!healthy) {
+      // The block's covariance is meaningless: restart it at p_init * I.
+      pb.assign(static_cast<std::size_t>(n * n), 0.0);
+      for (i64 i = 0; i < n; ++i) {
+        pb[static_cast<std::size_t>(i * n + i)] = config_.p_init;
+      }
+      max_diag_after = std::max(max_diag_after, config_.p_init);
+      continue;
+    }
+    f64 max_diag = 0.0;
+    for (i64 i = 0; i < n; ++i) {
+      max_diag = std::max(max_diag, pb[static_cast<std::size_t>(i * n + i)]);
+    }
+    if (max_diag > config_.p_init) {
+      const f64 scale = config_.p_init / max_diag;
+      for (f64& v : pb) v *= scale;
+      max_diag = config_.p_init;
+    }
+    max_diag_after = std::max(max_diag_after, max_diag);
+  }
+  last_max_diag_ = max_diag_after;
+}
+
 void KalmanOptimizer::update(std::span<const f64> g, f64 kscale,
-                             std::span<f64> w, f64 step_norm_cap, f64 abe) {
-  const f64 cap =
-      std::isnan(step_norm_cap) ? config_.max_step_norm : step_norm_cap;
+                             std::span<f64> w,
+                             std::optional<f64> step_norm_cap, f64 abe) {
+  const f64 cap = step_norm_cap.value_or(config_.max_step_norm);
   FEKF_CHECK(static_cast<i64>(g.size()) == total_ &&
                  static_cast<i64>(w.size()) == total_,
              "gradient/weight size mismatch");
@@ -47,6 +131,7 @@ void KalmanOptimizer::update(std::span<const f64> g, f64 kscale,
       scratch_.size() < static_cast<std::size_t>(max_block_ * max_block_)) {
     scratch_.resize(static_cast<std::size_t>(max_block_ * max_block_));
   }
+  f64 update_max_diag = 0.0;
   for (std::size_t b = 0; b < blocks_.size(); ++b) {
     const i64 n = blocks_[b].size;
     const i64 off = blocks_[b].offset;
@@ -102,24 +187,36 @@ void KalmanOptimizer::update(std::span<const f64> g, f64 kscale,
       }
     }
 
-    // Covariance limiting (see KalmanConfig::p_max).
-    if (config_.p_max > 0.0) {
-      f64 max_diag = 0.0;
-      for (i64 i = 0; i < n; ++i) {
-        max_diag = std::max(max_diag, pb[static_cast<std::size_t>(i * n + i)]);
+    // Covariance limiting (see KalmanConfig::p_max). The diagonal scan
+    // doubles as the sentinels' P-health probe, so non-finite entries must
+    // latch into max_diag explicitly (std::max would silently drop a NaN).
+    f64 max_diag = 0.0;
+    for (i64 i = 0; i < n; ++i) {
+      const f64 d = pb[static_cast<std::size_t>(i * n + i)];
+      if (!std::isfinite(d)) {
+        max_diag = d;
+        break;
       }
-      if (max_diag > config_.p_max) {
-        const f64 scale = config_.p_max / max_diag;
-        f64* pd = p_[b].data();
-        parallel_for_blocks(
-            0, n * n,
-            [&](i64 lo, i64 hi) {
-              for (i64 i = lo; i < hi; ++i) pd[i] *= scale;
-            },
-            kGrainWork);
-      }
+      max_diag = std::max(max_diag, d);
+    }
+    if (!std::isfinite(max_diag)) {
+      update_max_diag = max_diag;
+    } else if (std::isfinite(update_max_diag)) {
+      update_max_diag = std::max(update_max_diag, max_diag);
+    }
+    if (config_.p_max > 0.0 && std::isfinite(max_diag) &&
+        max_diag > config_.p_max) {
+      const f64 scale = config_.p_max / max_diag;
+      f64* pd = p_[b].data();
+      parallel_for_blocks(
+          0, n * n,
+          [&](i64 lo, i64 hi) {
+            for (i64 i = lo; i < hi; ++i) pd[i] *= scale;
+          },
+          kGrainWork);
     }
   }
+  last_max_diag_ = update_max_diag;
   lambda_ = lambda_ * config_.nu + 1.0 - config_.nu;
 }
 

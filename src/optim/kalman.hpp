@@ -16,7 +16,7 @@
 // P-update kernel and the cached-Pg reuse between the `a` and `K` steps.
 #pragma once
 
-#include <limits>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -30,6 +30,11 @@ struct KalmanConfig {
   f64 nu = 0.9987;
   bool fused_p_update = true;  ///< opt3: hand-written single-pass kernel
   bool cache_pg = true;        ///< opt3: reuse P g between a and K
+
+  /// Initial covariance diagonal: P starts as p_init * I, and the
+  /// divergence-recovery path (recondition()) rescales an unhealthy P back
+  /// toward this level. Must be positive and finite.
+  f64 p_init = 1.0;
 
   /// Covariance limiting: the forgetting factor (the 1/lambda in the P
   /// update) inflates P exponentially along directions the scalar
@@ -65,6 +70,19 @@ struct KalmanConfig {
     }
     return cfg;
   }
+
+  /// Reject unusable configurations with a clear Error naming the field
+  /// and the offending value. Called by every optimizer constructor.
+  void validate() const;
+};
+
+/// Deep copy of the stability-critical optimizer state (RLEKF: "the EKF
+/// covariance P is the stability-critical state"). Used both for the
+/// in-memory rollback snapshots of the divergence sentinels and for
+/// on-disk training checkpoints.
+struct KalmanState {
+  f64 lambda = 0.0;
+  std::vector<std::vector<f64>> p;  ///< per-block dense covariance
 };
 
 class KalmanOptimizer {
@@ -76,8 +94,8 @@ class KalmanOptimizer {
   /// scale (sqrt(bs) * ABE, already signed if needed); `w` is updated
   /// in place. `step_norm_cap` overrides config().max_step_norm for this
   /// update (energy updates are well-posed scalar Newton steps and run
-  /// uncapped; the noisier force updates use the trust region): NaN keeps
-  /// the config value, <= 0 disables.
+  /// uncapped; the noisier force updates use the trust region): nullopt
+  /// keeps the config value, a value <= 0 disables the cap for this update.
   /// `abe` (when >= 0) enables Newton-closure clamping: the sqrt(bs)
   /// factor in kscale can overshoot the full scalar-measurement closure
   /// when g^T P g is large and batch gradients are sign-correlated (early
@@ -85,13 +103,30 @@ class KalmanOptimizer {
   /// exactly close the measurement error abe. Inactive at batch size 1,
   /// where kscale*a <= abe/(g^T P g) always holds.
   void update(std::span<const f64> g, f64 kscale, std::span<f64> w,
-              f64 step_norm_cap = std::numeric_limits<f64>::quiet_NaN(),
+              std::optional<f64> step_norm_cap = std::nullopt,
               f64 abe = -1.0);
 
   f64 lambda() const { return lambda_; }
   void set_lambda(f64 lambda) { lambda_ = lambda; }
   const std::vector<BlockSpec>& blocks() const { return blocks_; }
   i64 total_size() const { return total_; }
+
+  /// Deep-copy / restore the full filter state (lambda + every P block).
+  /// set_state validates block shapes against this optimizer's layout.
+  KalmanState state() const;
+  void set_state(const KalmanState& state);
+
+  /// Largest covariance diagonal seen during the most recent update() —
+  /// the sentinel's P-health signal. NaN/Inf here means the filter has
+  /// diverged. Costs one diagonal scan per block, which update() performs
+  /// anyway for covariance limiting.
+  f64 last_max_diag() const { return last_max_diag_; }
+
+  /// Divergence recovery: any block containing a non-finite entry is reset
+  /// to p_init * I; any block whose max diagonal exceeds p_init is rescaled
+  /// down to it (same positive-definiteness-preserving whole-block rescale
+  /// as the p_max limiter). A non-finite lambda resets to lambda0.
+  void recondition();
 
   /// Persistent P storage in bytes (the paper's Section 5.3 accounting).
   i64 p_bytes() const;
@@ -110,6 +145,7 @@ class KalmanOptimizer {
   std::vector<BlockSpec> blocks_;
   KalmanConfig config_;
   f64 lambda_;
+  f64 last_max_diag_ = 0.0;
   i64 total_ = 0;
   i64 max_block_ = 0;
   std::vector<std::vector<f64>> p_;  ///< per-block dense covariance

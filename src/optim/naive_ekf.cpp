@@ -1,5 +1,8 @@
 #include "optim/naive_ekf.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace fekf::optim {
 
 NaiveEkf::NaiveEkf(std::vector<BlockSpec> blocks, KalmanConfig config,
@@ -34,6 +37,43 @@ void NaiveEkf::commit(std::span<f64> w) {
     increment_[i] = 0.0;
   }
   accumulated_ = 0;
+}
+
+void NaiveEkf::abort_accumulation() {
+  std::fill(increment_.begin(), increment_.end(), 0.0);
+  accumulated_ = 0;
+}
+
+std::vector<KalmanState> NaiveEkf::state() const {
+  std::vector<KalmanState> out;
+  out.reserve(replicas_.size());
+  for (const auto& r : replicas_) out.push_back(r->state());
+  return out;
+}
+
+void NaiveEkf::set_state(const std::vector<KalmanState>& replicas) {
+  FEKF_CHECK(replicas.size() == replicas_.size(),
+             "NaiveEkf state has " + std::to_string(replicas.size()) +
+                 " replicas, optimizer has " +
+                 std::to_string(replicas_.size()));
+  for (std::size_t s = 0; s < replicas_.size(); ++s) {
+    replicas_[s]->set_state(replicas[s]);
+  }
+  abort_accumulation();
+}
+
+f64 NaiveEkf::last_max_diag() const {
+  f64 max_diag = 0.0;
+  for (const auto& r : replicas_) {
+    const f64 d = r->last_max_diag();
+    if (!std::isfinite(d)) return d;
+    max_diag = std::max(max_diag, d);
+  }
+  return max_diag;
+}
+
+void NaiveEkf::recondition() {
+  for (const auto& r : replicas_) r->recondition();
 }
 
 i64 NaiveEkf::p_bytes() const {

@@ -30,6 +30,25 @@ class NaiveEkf {
   /// last commit to `w` and clear the accumulator.
   void commit(std::span<f64> w);
 
+  /// Discard a partially accumulated batch (exception recovery): clears
+  /// the pending increment so the next accumulate/commit cycle starts
+  /// clean. Replica covariances keep whatever updates already ran; restore
+  /// them via set_state for full-step rollback.
+  void abort_accumulation();
+
+  /// Deep copy / restore of every replica's covariance state. Only
+  /// meaningful at commit boundaries; set_state also clears any pending
+  /// accumulation (a restored step starts from a clean accumulator).
+  std::vector<KalmanState> state() const;
+  void set_state(const std::vector<KalmanState>& replicas);
+
+  /// Largest covariance diagonal across replicas after the most recent
+  /// accumulate() — the sentinels' P-health signal.
+  f64 last_max_diag() const;
+
+  /// Rescale every replica's unhealthy covariance back toward p_init.
+  void recondition();
+
   i64 slots() const { return static_cast<i64>(replicas_.size()); }
 
   /// Total P footprint: slots x blockwise P (the §3.3 memory blow-up).

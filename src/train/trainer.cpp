@@ -1,6 +1,8 @@
 #include "train/trainer.hpp"
 
 #include <cmath>
+#include <exception>
+#include <functional>
 #include <limits>
 
 #include "autograd/ops.hpp"
@@ -12,33 +14,204 @@ namespace fekf::train {
 
 namespace op = ag::ops;
 
+void TrainOptions::validate() const {
+  FEKF_CHECK(batch_size > 0, "TrainOptions.batch_size must be > 0 (got " +
+                                 std::to_string(batch_size) + ")");
+  FEKF_CHECK(max_epochs > 0, "TrainOptions.max_epochs must be > 0 (got " +
+                                 std::to_string(max_epochs) + ")");
+  FEKF_CHECK(force_updates_per_step > 0,
+             "TrainOptions.force_updates_per_step must be > 0 (got " +
+                 std::to_string(force_updates_per_step) + ")");
+  FEKF_CHECK(std::isfinite(force_prefactor) && force_prefactor > 0.0,
+             "TrainOptions.force_prefactor must be finite and > 0 (got " +
+                 std::to_string(force_prefactor) + ")");
+  FEKF_CHECK(eval_max_samples != 0,
+             "TrainOptions.eval_max_samples must be nonzero "
+             "(negative evaluates the whole split)");
+  FEKF_CHECK(std::isfinite(qlr_factor),
+             "TrainOptions.qlr_factor must be finite "
+             "(negative selects sqrt(batch_size))");
+  FEKF_CHECK(snapshot_every > 0, "TrainOptions.snapshot_every must be > 0");
+  FEKF_CHECK(std::isfinite(sentinel_explode_factor) &&
+                 sentinel_explode_factor > 1.0,
+             "TrainOptions.sentinel_explode_factor must be finite and > 1");
+  FEKF_CHECK(sentinel_warmup_steps >= 0,
+             "TrainOptions.sentinel_warmup_steps must be >= 0");
+  FEKF_CHECK(checkpoint_every >= 0,
+             "TrainOptions.checkpoint_every must be >= 0 (0 disables)");
+  FEKF_CHECK(checkpoint_every == 0 || !checkpoint_path.empty(),
+             "TrainOptions.checkpoint_every is set but checkpoint_path "
+             "is empty");
+}
+
 namespace {
 
-/// Shared epoch loop: `run_step(batch_indices)` performs one optimizer
-/// step; metrics/convergence bookkeeping is identical for all trainers.
-template <typename StepFn>
-TrainResult run_epochs(deepmd::DeepmdModel& model,
-                       std::span<const EnvPtr> train_envs,
-                       std::span<const EnvPtr> test_envs,
-                       const TrainOptions& options, StepFn&& run_step) {
+/// Per-step health signals a trainer reports back to the resilient loop.
+struct StepSignals {
+  f64 loss = 0.0;        ///< sum of |ABE| per update, or the Adam loss
+  f64 grad_norm2 = 0.0;  ///< squared norm of the gathered gradient(s)
+};
+
+/// Trainer-specific operations the shared loop composes. All state they
+/// touch (weights, optimizer, RNGs) lives in the trainer.
+struct ResilienceHooks {
+  std::function<StepSignals(std::span<const EnvPtr>, i64)> run_step;
+  std::function<void()> snapshot;
+  std::function<void()> rollback;  ///< restore snapshot + recondition
+  std::function<f64()> covariance_health;  ///< max P diagonal (0 for Adam)
+  std::function<void(TrainingCheckpoint&)> capture;
+  std::function<void(const TrainingCheckpoint&)> restore;
+};
+
+bool all_finite(const std::vector<f64>& v) {
+  for (const f64 x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+/// Shared resilient epoch loop (DESIGN.md §10). One iteration = one
+/// guarded optimizer step: run it, check the sentinels, and either accept
+/// (advance the loss EMA, refresh the snapshot) or recover (roll back,
+/// recondition, log, skip the batch). Worker exceptions funnel into the
+/// same recovery path, so a throw mid-step can never leave half-applied
+/// trainer state behind. Checkpoints are written only at step boundaries,
+/// after the step's state is fully applied.
+TrainResult run_resilient_epochs(deepmd::DeepmdModel& model,
+                                 std::span<const EnvPtr> train_envs,
+                                 std::span<const EnvPtr> test_envs,
+                                 const TrainOptions& options,
+                                 optim::FlatParams& flat,
+                                 std::vector<f64>& weights,
+                                 const ResilienceHooks& hooks) {
+  options.validate();
   TrainResult result;
   data::BatchSampler sampler(static_cast<i64>(train_envs.size()),
                              options.batch_size, options.seed);
+  i64 start_epoch = 1;
+  f64 time_offset = 0.0;
+  if (!options.resume_from.empty()) {
+    LoadedCheckpoint loaded = load_checkpoint(options.resume_from);
+    TrainingCheckpoint& ckpt = loaded.state;
+    FEKF_CHECK(ckpt.layout == model.parameter_layout(),
+               "checkpoint '" + options.resume_from +
+                   "' does not match the model architecture "
+                   "(parameter layout differs)");
+    weights = std::move(ckpt.weights);
+    flat.scatter(weights);
+    hooks.restore(ckpt);
+    sampler.set_state(ckpt.sampler);
+    result.history = std::move(ckpt.history);
+    result.faults = std::move(ckpt.faults);
+    result.steps = ckpt.steps;
+    start_epoch = ckpt.epoch;
+    if (!result.history.empty()) {
+      time_offset = result.history.back().cumulative_seconds;
+    }
+  }
+
   Stopwatch watch;
   std::vector<i64> indices;
   std::vector<EnvPtr> batch;
-  for (i64 epoch = 1; epoch <= options.max_epochs; ++epoch) {
+  f64 loss_ema = 0.0;
+  i64 healthy_steps = 0;
+  if (options.sentinels) hooks.snapshot();
+  bool hit_max_steps = false;
+  for (i64 epoch = start_epoch; epoch <= options.max_epochs; ++epoch) {
     while (sampler.next(indices)) {
       batch.clear();
       for (const i64 idx : indices) {
         batch.push_back(train_envs[static_cast<std::size_t>(idx)]);
       }
-      run_step(std::span<const EnvPtr>(batch));
+      const i64 step_index = result.steps + 1;
+      StepSignals sig;
+      std::exception_ptr error;
+      try {
+        sig = hooks.run_step(std::span<const EnvPtr>(batch), step_index);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      if (error && !options.sentinels) std::rethrow_exception(error);
+
+      std::string reason, detail;
+      if (error) {
+        reason = "worker_exception";
+        try {
+          std::rethrow_exception(error);
+        } catch (const std::exception& e) {
+          detail = e.what();
+        } catch (...) {
+          detail = "non-standard exception";
+        }
+      } else if (options.sentinels) {
+        if (!std::isfinite(sig.loss) || !std::isfinite(sig.grad_norm2)) {
+          reason = "nonfinite_signal";
+          detail = "loss=" + std::to_string(sig.loss) +
+                   " |g|^2=" + std::to_string(sig.grad_norm2);
+        } else if (!all_finite(weights)) {
+          reason = "nonfinite_weights";
+        } else if (!std::isfinite(hooks.covariance_health())) {
+          reason = "nonfinite_covariance";
+        } else if (healthy_steps >= options.sentinel_warmup_steps &&
+                   loss_ema > 0.0 &&
+                   sig.loss > options.sentinel_explode_factor * loss_ema) {
+          reason = "exploding_loss";
+          detail = "loss=" + std::to_string(sig.loss) +
+                   " ema=" + std::to_string(loss_ema);
+        }
+      }
+
+      if (!reason.empty()) {
+        Stopwatch recovery;
+        hooks.rollback();
+        result.recovery_seconds += recovery.seconds();
+        result.faults.record(step_index, reason, "rollback_skip_batch",
+                             detail);
+        if (options.verbose) {
+          FEKF_WARN << "step " << step_index << ": " << reason
+                    << " — rolled back to last good state, batch skipped";
+        }
+      } else if (options.sentinels) {
+        loss_ema = healthy_steps == 0
+                       ? std::abs(sig.loss)
+                       : 0.9 * loss_ema + 0.1 * std::abs(sig.loss);
+        ++healthy_steps;
+        if (healthy_steps % options.snapshot_every == 0) hooks.snapshot();
+      }
+      // Skipped batches still count as attempted steps, so fault triggers
+      // keyed on the step index stay deterministic across reruns.
       ++result.steps;
+
+      if (options.checkpoint_every > 0 &&
+          result.steps % options.checkpoint_every == 0) {
+        Stopwatch ckpt_watch;
+        TrainingCheckpoint ckpt;
+        ckpt.epoch = epoch;
+        ckpt.steps = result.steps;
+        ckpt.layout = model.parameter_layout();
+        ckpt.weights = weights;
+        ckpt.sampler = sampler.state();
+        ckpt.history = result.history;
+        ckpt.faults = result.faults;
+        hooks.capture(ckpt);
+        save_checkpoint(ckpt, model, options.checkpoint_path);
+        if (FaultInjector::instance().fire(FaultKind::kCorruptCkpt,
+                                           result.steps)) {
+          FaultInjector::corrupt_file(options.checkpoint_path);
+          result.faults.record(result.steps, "corrupt_ckpt",
+                               "injected_bit_flip", options.checkpoint_path);
+        }
+        result.checkpoint_seconds += ckpt_watch.seconds();
+      }
+      if (options.max_steps > 0 && result.steps >= options.max_steps) {
+        hit_max_steps = true;
+        break;
+      }
     }
+    if (hit_max_steps) break;
     EpochRecord record;
     record.epoch = epoch;
-    record.cumulative_seconds = watch.seconds();
+    record.cumulative_seconds = time_offset + watch.seconds();
     record.train = evaluate(model, train_envs, options.eval_max_samples,
                             options.eval_forces);
     if (!test_envs.empty()) {
@@ -68,6 +241,12 @@ TrainResult run_epochs(deepmd::DeepmdModel& model,
   return result;
 }
 
+f64 squared_norm(const std::vector<f64>& v) {
+  f64 norm2 = 0.0;
+  for (const f64 x : v) norm2 += x * x;
+  return norm2;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -82,7 +261,12 @@ AdamTrainer::AdamTrainer(deepmd::DeepmdModel& model,
       adam_(flat_.size(), adam_config),
       loss_config_(loss_config),
       options_(options),
-      lr0_(adam_config.lr * adam_config.lr_scale) {}
+      lr0_(adam_config.lr * adam_config.lr_scale) {
+  options_.validate();
+  weights_.resize(static_cast<std::size_t>(flat_.size()));
+  grads_.resize(static_cast<std::size_t>(flat_.size()));
+  flat_.gather(weights_);
+}
 
 ag::Variable AdamTrainer::batch_loss(std::span<const EnvPtr> batch) {
   // DeePMD loss with lr-coupled prefactors:
@@ -122,19 +306,43 @@ ag::Variable AdamTrainer::batch_loss(std::span<const EnvPtr> batch) {
 
 TrainResult AdamTrainer::train(std::span<const EnvPtr> train_envs,
                                std::span<const EnvPtr> test_envs) {
-  std::vector<f64> weights(static_cast<std::size_t>(flat_.size()));
-  std::vector<f64> grads(static_cast<std::size_t>(flat_.size()));
-  flat_.gather(weights);
   auto params = flat_.params();
-  return run_epochs(
-      model_, train_envs, test_envs, options_,
-      [&](std::span<const EnvPtr> batch) {
-        ag::Variable loss = batch_loss(batch);
-        auto g = ag::grad(loss, params);
-        flat_.gather_grads(g, grads);
-        adam_.step(grads, weights);
-        flat_.scatter(weights);
-      });
+  ResilienceHooks hooks;
+  hooks.run_step = [&](std::span<const EnvPtr> batch,
+                       i64 step_index) -> StepSignals {
+    current_step_ = step_index;
+    ag::Variable loss = batch_loss(batch);
+    auto g = ag::grad(loss, params);
+    flat_.gather_grads(g, grads_);
+    if (FaultInjector::instance().fire(FaultKind::kNanGrad, step_index)) {
+      grads_[0] = std::numeric_limits<f64>::quiet_NaN();
+    }
+    const f64 grad_norm2 = squared_norm(grads_);
+    adam_.step(grads_, weights_);
+    flat_.scatter(weights_);
+    return {static_cast<f64>(loss.item()), grad_norm2};
+  };
+  hooks.snapshot = [&] {
+    snap_weights_ = weights_;
+    snap_adam_ = adam_.state();
+  };
+  hooks.rollback = [&] {
+    weights_ = snap_weights_;
+    adam_.set_state(snap_adam_);
+    flat_.scatter(weights_);
+  };
+  hooks.covariance_health = [] { return 0.0; };
+  hooks.capture = [&](TrainingCheckpoint& ckpt) {
+    ckpt.optimizer.kind = OptimizerCheckpoint::Kind::kAdam;
+    ckpt.optimizer.adam = adam_.state();
+  };
+  hooks.restore = [&](const TrainingCheckpoint& ckpt) {
+    FEKF_CHECK(ckpt.optimizer.kind == OptimizerCheckpoint::Kind::kAdam,
+               "checkpoint optimizer state is not Adam");
+    adam_.set_state(ckpt.optimizer.adam);
+  };
+  return run_resilient_epochs(model_, train_envs, test_envs, options_, flat_,
+                              weights_, hooks);
 }
 
 // ---------------------------------------------------------------------------
@@ -148,6 +356,7 @@ KalmanTrainer::KalmanTrainer(deepmd::DeepmdModel& model,
       flat_(model.parameters()),
       options_(options),
       mode_(mode) {
+  options_.validate();
   auto blocks = optim::split_blocks(model.parameter_layout(),
                                     kalman_config.blocksize);
   if (mode_ == EkfMode::kFekf) {
@@ -164,15 +373,21 @@ KalmanTrainer::KalmanTrainer(deepmd::DeepmdModel& model,
 }
 
 void KalmanTrainer::apply_fekf(const Measurement& measurement,
-                               i64 batch_size, f64 step_norm_cap) {
+                               i64 batch_size,
+                               std::optional<f64> step_norm_cap) {
   auto params = flat_.params();
   {
     ScopedTimer timer(t_gradient_);
     auto g = ag::grad(measurement.m, params);
     flat_.gather_grads(g, grad_flat_);
   }
+  if (FaultInjector::instance().fire(FaultKind::kNanGrad, current_step_)) {
+    grad_flat_[0] = std::numeric_limits<f64>::quiet_NaN();
+  }
   {
     ScopedTimer timer(t_optimizer_);
+    step_loss_ += std::abs(measurement.abe);
+    step_grad_norm2_ += squared_norm(grad_flat_);
     const f64 factor = options_.qlr_factor >= 0.0
                            ? options_.qlr_factor
                            : std::sqrt(static_cast<f64>(batch_size));
@@ -190,8 +405,13 @@ void KalmanTrainer::apply_naive_sample(i64 slot,
     auto g = ag::grad(measurement.m, params);
     flat_.gather_grads(g, grad_flat_);
   }
+  if (FaultInjector::instance().fire(FaultKind::kNanGrad, current_step_)) {
+    grad_flat_[0] = std::numeric_limits<f64>::quiet_NaN();
+  }
   {
     ScopedTimer timer(t_optimizer_);
+    step_loss_ += std::abs(measurement.abe);
+    step_grad_norm2_ += squared_norm(grad_flat_);
     naive_->accumulate(slot, grad_flat_, measurement.abe);
   }
 }
@@ -230,7 +450,7 @@ void KalmanTrainer::force_update(std::span<const EnvPtr> batch,
       m = force_measurement(model_, batch, group, options_.force_prefactor);
     }
     apply_fekf(m, static_cast<i64>(batch.size()),
-               std::numeric_limits<f64>::quiet_NaN());
+               /*step_norm_cap=*/std::nullopt);
     return;
   }
   for (std::size_t s = 0; s < batch.size(); ++s) {
@@ -247,21 +467,86 @@ void KalmanTrainer::force_update(std::span<const EnvPtr> batch,
   flat_.scatter(weights_);
 }
 
+void KalmanTrainer::snapshot_state() {
+  snap_weights_ = weights_;
+  if (mode_ == EkfMode::kFekf) {
+    snap_kalman_ = kalman_->state();
+  } else {
+    snap_replicas_ = naive_->state();
+  }
+}
+
+void KalmanTrainer::rollback_state() {
+  weights_ = snap_weights_;
+  if (mode_ == EkfMode::kFekf) {
+    kalman_->set_state(snap_kalman_);
+    kalman_->recondition();
+  } else {
+    naive_->set_state(snap_replicas_);
+    naive_->recondition();
+  }
+  flat_.scatter(weights_);
+}
+
+void KalmanTrainer::capture(TrainingCheckpoint& ckpt) const {
+  if (mode_ == EkfMode::kFekf) {
+    ckpt.optimizer.kind = OptimizerCheckpoint::Kind::kKalman;
+    ckpt.optimizer.kalman = kalman_->state();
+  } else {
+    ckpt.optimizer.kind = OptimizerCheckpoint::Kind::kNaiveEkf;
+    ckpt.optimizer.replicas = naive_->state();
+  }
+  ckpt.has_group_rng = true;
+  ckpt.group_rng = group_rng_.state();
+}
+
+void KalmanTrainer::restore(const TrainingCheckpoint& ckpt) {
+  if (mode_ == EkfMode::kFekf) {
+    FEKF_CHECK(ckpt.optimizer.kind == OptimizerCheckpoint::Kind::kKalman,
+               "checkpoint optimizer state is not a shared-P Kalman filter");
+    kalman_->set_state(ckpt.optimizer.kalman);
+  } else {
+    FEKF_CHECK(ckpt.optimizer.kind == OptimizerCheckpoint::Kind::kNaiveEkf,
+               "checkpoint optimizer state is not a naive-EKF replica set");
+    naive_->set_state(ckpt.optimizer.replicas);
+  }
+  FEKF_CHECK(ckpt.has_group_rng,
+             "checkpoint is missing the force-group RNG stream");
+  group_rng_.set_state(ckpt.group_rng);
+}
+
 TrainResult KalmanTrainer::train(std::span<const EnvPtr> train_envs,
                                  std::span<const EnvPtr> test_envs) {
   FEKF_CHECK(!train_envs.empty(), "empty training set");
-  Rng group_rng(options_.seed ^ 0x9e3779b9ULL);
+  // Re-seed per train() call so repeated warm restarts on one trainer see
+  // identical force-group sequences (restored from the checkpoint instead
+  // when resuming).
+  group_rng_.reseed(options_.seed ^ 0x9e3779b9ULL);
   const i64 natoms = train_envs.front()->natoms;
-  TrainResult result = run_epochs(
-      model_, train_envs, test_envs, options_,
-      [&](std::span<const EnvPtr> batch) {
-        energy_update(batch);
-        auto groups = make_force_groups(
-            natoms, options_.force_updates_per_step, group_rng);
-        for (const auto& group : groups) {
-          force_update(batch, group);
-        }
-      });
+  ResilienceHooks hooks;
+  hooks.run_step = [&](std::span<const EnvPtr> batch,
+                       i64 step_index) -> StepSignals {
+    current_step_ = step_index;
+    step_loss_ = 0.0;
+    step_grad_norm2_ = 0.0;
+    energy_update(batch);
+    auto groups = make_force_groups(natoms, options_.force_updates_per_step,
+                                    group_rng_);
+    for (const auto& group : groups) {
+      force_update(batch, group);
+    }
+    return {step_loss_, step_grad_norm2_};
+  };
+  hooks.snapshot = [&] { snapshot_state(); };
+  hooks.rollback = [&] { rollback_state(); };
+  hooks.covariance_health = [&] {
+    return mode_ == EkfMode::kFekf ? kalman_->last_max_diag()
+                                   : naive_->last_max_diag();
+  };
+  hooks.capture = [&](TrainingCheckpoint& ckpt) { capture(ckpt); };
+  hooks.restore = [&](const TrainingCheckpoint& ckpt) { restore(ckpt); };
+  TrainResult result = run_resilient_epochs(model_, train_envs, test_envs,
+                                            options_, flat_, weights_, hooks);
   result.forward_seconds = t_forward_.total_seconds();
   result.gradient_seconds = t_gradient_.total_seconds();
   result.optimizer_seconds = t_optimizer_.total_seconds();

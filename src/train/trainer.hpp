@@ -14,6 +14,16 @@
 // Iteration time is split into the three Figure 7(c) phases: forward
 // (prediction + measurement assembly), gradient (backward pass), and
 // optimizer (KF algebra / Adam update).
+//
+// Both trainers share one resilient step loop (DESIGN.md §10): every
+// optimizer step is guarded by divergence sentinels (non-finite loss /
+// gradient / weights / covariance, loss explosion) and by a try/catch
+// around the whole step, so a worker exception or a numerically diverging
+// update rolls the trainer back to the last good in-memory snapshot,
+// reconditions the covariance, records a FaultLog event, and skips the
+// batch — training continues. The loop also writes full-state checkpoints
+// (train/checkpoint.hpp) every `checkpoint_every` steps and can resume
+// from one bit-exactly via `resume_from`.
 #pragma once
 
 #include "core/timer.hpp"
@@ -21,6 +31,7 @@
 #include "optim/flat_params.hpp"
 #include "optim/kalman.hpp"
 #include "optim/naive_ekf.hpp"
+#include "train/checkpoint.hpp"
 #include "train/measurement.hpp"
 
 namespace fekf::train {
@@ -38,6 +49,7 @@ struct TrainOptions {
   /// move — 15 converges on all eight catalog systems (see DESIGN.md §1 on
   /// scale substitutions).
   f64 force_prefactor = 15.0;
+  /// Evaluation subset size; < 0 evaluates the whole split.
   i64 eval_max_samples = 32;
   bool eval_forces = true;
   /// Quasi-learning-rate factor multiplying ABE in the weight step
@@ -45,13 +57,36 @@ struct TrainOptions {
   f64 qlr_factor = -1.0;
   u64 seed = 7;
   bool verbose = false;
-};
 
-struct EpochRecord {
-  i64 epoch = 0;
-  Metrics train;
-  Metrics test;
-  f64 cumulative_seconds = 0.0;
+  // --- resilience (DESIGN.md §10) ---
+  /// Divergence sentinels: per-step health checks with automatic rollback
+  /// to the last good snapshot. Disabled, a bad step propagates (worker
+  /// exceptions rethrow, non-finite values poison the run).
+  bool sentinels = true;
+  /// Healthy steps between in-memory snapshots (1 = snapshot every step;
+  /// larger trades rollback distance for snapshot overhead).
+  i64 snapshot_every = 1;
+  /// A step whose loss exceeds this factor times the running loss EMA is
+  /// treated as diverging and rolled back.
+  f64 sentinel_explode_factor = 1e6;
+  /// Healthy steps observed before the explosion sentinel arms.
+  i64 sentinel_warmup_steps = 8;
+  /// Write a full training checkpoint every N optimizer steps (0 = off;
+  /// requires checkpoint_path).
+  i64 checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// Resume from this checkpoint file: restores weights, optimizer state,
+  /// sampler/RNG streams, history, and counters. A resumed run reproduces
+  /// the uninterrupted trajectory bit-for-bit.
+  std::string resume_from;
+  /// Stop after this many optimizer steps in total (<= 0 = no limit).
+  /// Cuts a run at a checkpoint boundary (kill/resume tests, staged
+  /// online-learning rounds).
+  i64 max_steps = -1;
+
+  /// Reject non-positive sizes / non-finite rates with a clear Error.
+  /// Called by both trainers before the first step.
+  void validate() const;
 };
 
 struct TrainResult {
@@ -66,6 +101,10 @@ struct TrainResult {
   f64 optimizer_seconds = 0.0;
   Metrics final_train;
   Metrics final_test;
+  /// Every sentinel trip / injected fault the run recovered from.
+  FaultLog faults;
+  f64 recovery_seconds = 0.0;    ///< spent restoring snapshots
+  f64 checkpoint_seconds = 0.0;  ///< spent writing checkpoints
 };
 
 class AdamTrainer {
@@ -91,6 +130,12 @@ class AdamTrainer {
   LossConfig loss_config_;
   TrainOptions options_;
   f64 lr0_;
+  std::vector<f64> weights_;
+  std::vector<f64> grads_;
+  i64 current_step_ = 0;
+  // Last good state for sentinel rollback.
+  std::vector<f64> snap_weights_;
+  optim::AdamState snap_adam_;
 };
 
 enum class EkfMode { kFekf, kNaive };
@@ -118,8 +163,12 @@ class KalmanTrainer {
 
  private:
   void apply_fekf(const Measurement& measurement, i64 batch_size,
-                  f64 step_norm_cap);
+                  std::optional<f64> step_norm_cap);
   void apply_naive_sample(i64 slot, const Measurement& measurement);
+  void snapshot_state();
+  void rollback_state();
+  void capture(TrainingCheckpoint& ckpt) const;
+  void restore(const TrainingCheckpoint& ckpt);
 
   deepmd::DeepmdModel& model_;
   optim::FlatParams flat_;
@@ -129,6 +178,16 @@ class KalmanTrainer {
   EkfMode mode_;
   std::vector<f64> weights_;
   std::vector<f64> grad_flat_;
+  Rng group_rng_;
+  i64 current_step_ = 0;
+  // Per-step sentinel signals, accumulated across the energy + force
+  // updates of one step.
+  f64 step_loss_ = 0.0;
+  f64 step_grad_norm2_ = 0.0;
+  // Last good state for sentinel rollback.
+  std::vector<f64> snap_weights_;
+  optim::KalmanState snap_kalman_;
+  std::vector<optim::KalmanState> snap_replicas_;
   AccumTimer t_forward_, t_gradient_, t_optimizer_;
 };
 

@@ -367,5 +367,162 @@ TEST(NaiveEkf, SingleSlotMatchesKalman) {
   for (i64 i = 0; i < 6; ++i) EXPECT_NEAR(w1[static_cast<std::size_t>(i)], w2[static_cast<std::size_t>(i)], 1e-10);
 }
 
+TEST(Validation, KalmanConfigRejectsBadValues) {
+  auto reject = [](auto&& mutate) {
+    KalmanConfig cfg;
+    mutate(cfg);
+    EXPECT_THROW(cfg.validate(), Error);
+  };
+  reject([](KalmanConfig& c) { c.blocksize = 0; });
+  reject([](KalmanConfig& c) { c.lambda0 = 0.0; });
+  reject([](KalmanConfig& c) { c.lambda0 = 1.5; });
+  reject([](KalmanConfig& c) { c.nu = 0.0; });
+  reject([](KalmanConfig& c) { c.p_init = 0.0; });
+  reject([](KalmanConfig& c) { c.p_init = std::nan(""); });
+  reject([](KalmanConfig& c) { c.p_max = std::nan(""); });
+  reject([](KalmanConfig& c) {
+    c.p_init = 10.0;
+    c.p_max = 5.0;  // limiter below the starting diagonal
+  });
+  reject([](KalmanConfig& c) { c.process_noise = -1.0; });
+  reject([](KalmanConfig& c) { c.max_step_norm = std::nan(""); });
+  EXPECT_NO_THROW(KalmanConfig{}.validate());
+  // Constructors validate too.
+  KalmanConfig bad;
+  bad.lambda0 = -1.0;
+  auto blocks = split_blocks(Layout{{"w", 4}}, 16);
+  EXPECT_THROW(KalmanOptimizer(blocks, bad), Error);
+  EXPECT_THROW(NaiveEkf(blocks, bad, 2), Error);
+}
+
+TEST(Validation, AdamConfigRejectsBadValues) {
+  auto reject = [](auto&& mutate) {
+    AdamConfig cfg;
+    mutate(cfg);
+    EXPECT_THROW(cfg.validate(), Error);
+  };
+  reject([](AdamConfig& c) { c.lr = 0.0; });
+  reject([](AdamConfig& c) { c.beta1 = 1.0; });
+  reject([](AdamConfig& c) { c.beta2 = -0.1; });
+  reject([](AdamConfig& c) { c.eps = 0.0; });
+  reject([](AdamConfig& c) { c.decay_steps = 0; });
+  reject([](AdamConfig& c) { c.lr_scale = 0.0; });
+  EXPECT_NO_THROW(AdamConfig{}.validate());
+  AdamConfig bad;
+  bad.lr = -1.0;
+  EXPECT_THROW(Adam(4, bad), Error);
+}
+
+TEST(Kalman, OptionalStepCapSemantics) {
+  // nullopt -> config cap applies; explicit <= 0 -> uncapped; explicit
+  // positive -> that cap. (The old API abused NaN as "use config".)
+  auto blocks = split_blocks(Layout{{"w", 8}}, 16);
+  KalmanConfig cfg;
+  cfg.max_step_norm = 0.01;
+  auto step_norm = [&](std::optional<f64> cap) {
+    KalmanOptimizer kal(blocks, cfg);
+    std::vector<f64> w(8, 0.0), g(8, 1.0);
+    kal.update(g, 100.0, w, cap);
+    f64 norm = 0.0;
+    for (const f64 v : w) norm += v * v;
+    return std::sqrt(norm);
+  };
+  EXPECT_LE(step_norm(std::nullopt), 0.01 + 1e-12);
+  EXPECT_LE(step_norm(0.5), 0.5 + 1e-12);
+  EXPECT_GT(step_norm(0.5), 0.01);
+  EXPECT_GT(step_norm(0.0), 0.5);  // uncapped
+}
+
+TEST(Kalman, StateRoundTripRestoresTrajectory) {
+  auto blocks = split_blocks(Layout{{"w", 12}}, 8);
+  KalmanConfig cfg;
+  KalmanOptimizer kal(blocks, cfg);
+  Rng rng(21);
+  std::vector<f64> w(12, 0.0), g(12);
+  for (int step = 0; step < 5; ++step) {
+    for (auto& v : g) v = rng.gaussian();
+    kal.update(g, 0.1, w);
+  }
+  const KalmanState saved = kal.state();
+  const std::vector<f64> w_saved = w;
+  const Rng rng_saved = rng;
+
+  // Continue, then rewind and replay: bit-identical weights.
+  std::vector<f64> w1 = w;
+  for (int step = 0; step < 5; ++step) {
+    for (auto& v : g) v = rng.gaussian();
+    kal.update(g, 0.1, w1);
+  }
+  kal.set_state(saved);
+  std::vector<f64> w2 = w_saved;
+  Rng rng2 = rng_saved;
+  for (int step = 0; step < 5; ++step) {
+    for (auto& v : g) v = rng2.gaussian();
+    kal.update(g, 0.1, w2);
+  }
+  EXPECT_EQ(w1, w2);
+
+  // Shape mismatches are rejected.
+  KalmanState wrong = saved;
+  wrong.p.pop_back();
+  EXPECT_THROW(kal.set_state(wrong), Error);
+}
+
+TEST(Kalman, ReconditionRepairsDivergedCovariance) {
+  auto blocks = split_blocks(Layout{{"w", 8}}, 16);
+  KalmanConfig cfg;
+  cfg.p_init = 1.0;
+  KalmanOptimizer kal(blocks, cfg);
+  std::vector<f64> w(8, 0.0), g(8, 1.0);
+  g[0] = std::nan("");
+  kal.update(g, 0.1, w);
+  EXPECT_FALSE(std::isfinite(kal.last_max_diag()));
+
+  kal.recondition();
+  const KalmanState repaired = kal.state();
+  for (const auto& block : repaired.p) {
+    for (const f64 v : block) ASSERT_TRUE(std::isfinite(v));
+  }
+  EXPECT_TRUE(std::isfinite(kal.lambda()));
+  // Repaired filter optimizes again.
+  std::fill(w.begin(), w.end(), 0.0);
+  std::fill(g.begin(), g.end(), 1.0);
+  kal.update(g, 0.1, w);
+  for (const f64 v : w) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Adam, StateRoundTripRestoresTrajectory) {
+  AdamConfig cfg;
+  cfg.decay_steps = 50;
+  Adam adam(6, cfg);
+  Rng rng(22);
+  std::vector<f64> w(6, 0.0), g(6);
+  for (int step = 0; step < 4; ++step) {
+    for (auto& v : g) v = rng.gaussian();
+    adam.step(g, w);
+  }
+  const AdamState saved = adam.state();
+  const std::vector<f64> w_saved = w;
+  const Rng rng_saved = rng;
+
+  std::vector<f64> w1 = w;
+  for (int step = 0; step < 4; ++step) {
+    for (auto& v : g) v = rng.gaussian();
+    adam.step(g, w1);
+  }
+  adam.set_state(saved);
+  std::vector<f64> w2 = w_saved;
+  Rng rng2 = rng_saved;
+  for (int step = 0; step < 4; ++step) {
+    for (auto& v : g) v = rng2.gaussian();
+    adam.step(g, w2);
+  }
+  EXPECT_EQ(w1, w2);
+
+  AdamState wrong = saved;
+  wrong.m.pop_back();
+  EXPECT_THROW(adam.set_state(wrong), Error);
+}
+
 }  // namespace
 }  // namespace fekf::optim

@@ -3,6 +3,7 @@
 // and malformed files must be rejected.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <unistd.h>
 
@@ -100,6 +101,66 @@ TEST(Serialize, RejectsTruncatedFile) {
   std::fclose(f);
   FEKF_CHECK(::truncate(file.path.c_str(), size / 2) == 0, "truncate failed");
   EXPECT_THROW(load_model(file.path), Error);
+}
+
+TEST(Serialize, MalformedDiagnosticNamesFileAndLine) {
+  // A malformed model file must fail with ONE line naming the file, the
+  // 1-based line number, and what was expected (DESIGN.md §10).
+  TempFile file("fekf_diag.model");
+  {
+    std::FILE* f = std::fopen(file.path.c_str(), "w");
+    std::fputs("definitely not a model\n", f);
+    std::fclose(f);
+  }
+  try {
+    load_model(file.path);
+    FAIL() << "load_model accepted garbage";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(file.path + ":1:"), std::string::npos) << what;
+    EXPECT_NE(what.find("fekf-deepmd-model-v1"), std::string::npos) << what;
+    EXPECT_EQ(what.find('\n'), std::string::npos) << what;
+  }
+
+  // Tamper with a token in the middle of an otherwise valid file: the
+  // diagnostic must point at the tampered token's line.
+  data::Dataset ds = small_dataset();
+  DeepmdModel model(small_config(), 2);
+  model.fit_stats(ds.train);
+  save_model(model, file.path);
+  std::string text;
+  {
+    std::FILE* f = std::fopen(file.path.c_str(), "r");
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, got);
+    }
+    std::fclose(f);
+  }
+  const std::size_t pos = text.find("residual_std");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 12, "resADual_std");
+  const i64 line =
+      1 + static_cast<i64>(std::count(text.begin(), text.begin() +
+                                          static_cast<std::ptrdiff_t>(pos),
+                                      '\n'));
+  {
+    std::FILE* f = std::fopen(file.path.c_str(), "w");
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  try {
+    load_model(file.path);
+    FAIL() << "load_model accepted a tampered token";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(file.path + ":" + std::to_string(line) + ":"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("residual_std"), std::string::npos) << what;
+    EXPECT_EQ(what.find('\n'), std::string::npos) << what;
+  }
 }
 
 TEST(ModelPotential, MatchesDirectPrediction) {
