@@ -29,7 +29,13 @@ run() {
   echo
 }
 run ./build/bench/bench_comm_memory
-run ./build/bench/bench_fig7bc_kernels
+# The fig7bc harness runs with the observability layer armed: the Chrome
+# trace (load in Perfetto / chrome://tracing) and the metrics dump land
+# next to index.json, attributing the measured iterations span by span.
+FEKF_TRACE="$ARTIFACTS/fig7bc_trace.json" \
+  FEKF_TRACE_KERNELS=1 \
+  FEKF_METRICS="$ARTIFACTS/fig7bc_metrics.json" \
+  run ./build/bench/bench_fig7bc_kernels
 run ./build/bench/bench_kernels_micro --benchmark_min_time=0.1
 run ./build/bench/bench_fig4_qlr
 run ./build/bench/bench_table5_distributed --train 40 --rlekf-epochs 3 --fekf-epochs 8
@@ -39,7 +45,11 @@ run ./build/bench/bench_table4_convergence --train 32 --adam-epochs 8 --fekf-epo
 run ./build/bench/bench_ablation_stabilizers --train 40 --epochs 6
 run ./build/bench/bench_scaling --train 64 --batch 16 --iters 2 \
   --threads 1,2,4,8 --json "$ARTIFACTS/scaling.json"
-run ./build/bench/bench_resilience --train 24 --epochs 3 \
+# Traced resilience run: checkpoint spans and fault/rollback instants show
+# up on the same timeline as the training phases.
+FEKF_TRACE="$ARTIFACTS/resilience_trace.json" \
+  FEKF_METRICS="$ARTIFACTS/resilience_metrics.json" \
+  run ./build/bench/bench_resilience --train 24 --epochs 3 \
   --ckpt "$ARTIFACTS/resilience.ckpt" --json "$ARTIFACTS/resilience.json"
 echo "  ]" >> "$INDEX"
 echo "}" >> "$INDEX"

@@ -1,14 +1,22 @@
 #include "core/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace fekf {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
 std::mutex g_mutex;
+
+std::chrono::steady_clock::time_point log_epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,16 +28,59 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// FEKF_LOG_LEVEL accepts a level name (case-insensitive: debug, info,
+/// warn, error, off) or its integer value 0-4. Malformed values fall back
+/// to the default — the logger must never abort a run over an env typo.
+int initial_level() {
+  const char* env = std::getenv("FEKF_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  std::string value(env);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "debug") return static_cast<int>(LogLevel::kDebug);
+  if (value == "info") return static_cast<int>(LogLevel::kInfo);
+  if (value == "warn" || value == "warning") {
+    return static_cast<int>(LogLevel::kWarn);
+  }
+  if (value == "error") return static_cast<int>(LogLevel::kError);
+  if (value == "off" || value == "none") {
+    return static_cast<int>(LogLevel::kOff);
+  }
+  if (value.size() == 1 && value[0] >= '0' && value[0] <= '4') {
+    return value[0] - '0';
+  }
+  std::fprintf(stderr,
+               "[warn] FEKF_LOG_LEVEL='%s' not recognized "
+               "(debug|info|warn|error|off or 0-4); using info\n",
+               env);
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int>& level_store() {
+  static std::atomic<int> level{initial_level()};
+  return level;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+void set_log_level(LogLevel level) {
+  level_store().store(static_cast<int>(level));
+}
 
-LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel log_level() { return static_cast<LogLevel>(level_store().load()); }
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < g_level.load()) return;
+  if (static_cast<int>(level) < level_store().load()) return;
+  const f64 elapsed = std::chrono::duration<f64>(
+                          std::chrono::steady_clock::now() - log_epoch())
+                          .count();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  std::fprintf(stderr, "[%10.3fs][%s] %s\n", elapsed, level_name(level),
+               msg.c_str());
   std::fflush(stderr);
 }
 

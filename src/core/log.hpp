@@ -11,11 +11,15 @@ namespace fekf {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide minimum level. Messages below it are dropped.
+/// Process-wide minimum level. Messages below it are dropped. The initial
+/// level comes from the FEKF_LOG_LEVEL environment variable (a level name
+/// or 0-4; malformed values fall back to info, never abort).
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one line ("[level] message\n") to stderr, thread-safe.
+/// Emit one line ("[<elapsed>s][level] message\n") to stderr, thread-safe.
+/// The timestamp is steady-clock seconds since process start, so log lines
+/// correlate directly with trace-span timestamps (obs/trace.hpp).
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {

@@ -30,8 +30,17 @@ class Stopwatch {
 /// (Figure 7c).
 class AccumTimer {
  public:
+  // ScopedTimer holds a reference to its AccumTimer; copying a timer with
+  // an open window would fork the running flag, so copies are disallowed.
+  AccumTimer() = default;
+  AccumTimer(const AccumTimer&) = delete;
+  AccumTimer& operator=(const AccumTimer&) = delete;
+
   void start() { watch_.reset(); running_ = true; }
 
+  /// Closes the current window. A stop() without a matching start() (or a
+  /// second stop() on the same window) is a no-op: it must not inflate
+  /// total or count.
   void stop() {
     if (running_) {
       total_ += watch_.seconds();

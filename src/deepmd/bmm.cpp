@@ -27,7 +27,7 @@ Tensor bmm_nn_kernel(const Tensor& x, const Tensor& y, i64 p) {
   const i64 q = x.cols();
   FEKF_CHECK(y.rows() == nb * q, "bmm_nn: y rows mismatch");
   const i64 s = y.cols();
-  KernelCounter::record("bmm_nn");
+  KernelLaunch launch("bmm_nn");
   Tensor out = Tensor::zeros(nb * p, s);
   const f32* __restrict__ px = x.data();
   const f32* __restrict__ py = y.data();
@@ -56,7 +56,7 @@ Tensor bmm_tn_kernel(const Tensor& x, const Tensor& y, i64 q) {
   FEKF_CHECK(y.rows() == nb * q, "bmm_tn: y rows mismatch");
   const i64 p = x.cols();
   const i64 s = y.cols();
-  KernelCounter::record("bmm_tn");
+  KernelLaunch launch("bmm_tn");
   Tensor out = Tensor::zeros(nb * p, s);
   const f32* __restrict__ px = x.data();
   const f32* __restrict__ py = y.data();
@@ -87,7 +87,7 @@ Tensor bmm_nt_kernel(const Tensor& x, const Tensor& y, i64 p, i64 s) {
   FEKF_CHECK(y.rows() == nb * s, "bmm_nt: y rows mismatch");
   const i64 q = x.cols();
   FEKF_CHECK(y.cols() == q, "bmm_nt: inner dim mismatch");
-  KernelCounter::record("bmm_nt");
+  KernelLaunch launch("bmm_nt");
   Tensor out(nb * p, s);
   const f32* __restrict__ px = x.data();
   const f32* __restrict__ py = y.data();
@@ -119,7 +119,7 @@ Tensor block_slice_kernel(const Tensor& x, i64 block, i64 r0, i64 r1) {
   FEKF_CHECK(0 <= r0 && r0 <= r1 && r1 <= block, "block_slice_rows bounds");
   const i64 h = r1 - r0;
   const i64 c = x.cols();
-  KernelCounter::record("block_slice_rows");
+  KernelLaunch launch("block_slice_rows");
   Tensor out(nb * h, c);
   parallel_for_blocks(
       0, nb,
@@ -137,7 +137,7 @@ Tensor block_pad_kernel(const Tensor& x, i64 block, i64 h, i64 r0) {
   const i64 nb = block_count(x, h, "block_pad_rows");
   FEKF_CHECK(r0 >= 0 && r0 + h <= block, "block_pad_rows bounds");
   const i64 c = x.cols();
-  KernelCounter::record("block_pad_rows");
+  KernelLaunch launch("block_pad_rows");
   Tensor out = Tensor::zeros(nb * block, c);
   parallel_for_blocks(
       0, nb,

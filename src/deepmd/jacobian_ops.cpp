@@ -15,7 +15,7 @@ Tensor jacobian_force_kernel(const Tensor& grad_r, const EnvData& env,
   FEKF_CHECK(grad_r.rows() == env.natoms * env.sel[static_cast<std::size_t>(type)] &&
                  grad_r.cols() == 4,
              "jacobian_force: grad_r shape mismatch");
-  KernelCounter::record("jacobian_force");
+  KernelLaunch launch("jacobian_force");
   Tensor out = Tensor::zeros(env.natoms, 3);
   const f32* __restrict__ pg = grad_r.data();
   f32* __restrict__ po = out.data();
@@ -37,7 +37,7 @@ Tensor jacobian_transpose_kernel(const Tensor& f_cot, const EnvData& env,
                                  i32 type) {
   FEKF_CHECK(f_cot.rows() == env.natoms && f_cot.cols() == 3,
              "jacobian_force_transpose: cotangent shape mismatch");
-  KernelCounter::record("jacobian_force_transpose");
+  KernelLaunch launch("jacobian_force_transpose");
   Tensor out = Tensor::zeros(
       env.natoms * env.sel[static_cast<std::size_t>(type)], 4);
   const f32* __restrict__ pf = f_cot.data();

@@ -2,6 +2,7 @@
 
 #include "deepmd/bmm.hpp"
 #include "deepmd/jacobian_ops.hpp"
+#include "obs/trace.hpp"
 
 namespace fekf::deepmd {
 
@@ -100,6 +101,9 @@ DeepmdModel::Prediction DeepmdModel::predict(
     const std::shared_ptr<const EnvData>& env, bool with_forces) const {
   FEKF_CHECK(stats_ready_, "call fit_stats() before predict()");
   FEKF_CHECK(env != nullptr, "null env");
+  obs::ScopedSpan span("deepmd.predict", "deepmd");
+  span.arg("natoms", static_cast<f64>(env->natoms));
+  span.arg("with_forces", with_forces ? 1.0 : 0.0);
   const i64 natoms = env->natoms;
 
   // Environment-matrix leaves (one per neighbor type). They require grad

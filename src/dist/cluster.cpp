@@ -4,6 +4,9 @@
 
 #include "core/fault.hpp"
 #include "data/dataset.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "train/observer.hpp"
 
 namespace fekf::dist {
 
@@ -93,6 +96,9 @@ DistributedResult train_fekf_distributed(
           const i64 lo = r * bs / ranks;
           const i64 hi = (r + 1) * bs / ranks;
           if (lo == hi) continue;
+          obs::ScopedSpan shard_span("dist.shard", "dist");
+          shard_span.arg("rank", static_cast<f64>(r));
+          shard_span.arg("samples", static_cast<f64>(hi - lo));
           ShardResult shard = run_shard(
               model, flat, batch.subspan(static_cast<std::size_t>(lo),
                                          static_cast<std::size_t>(hi - lo)),
@@ -107,22 +113,46 @@ DistributedResult train_fekf_distributed(
         }
         // Ring allreduce of the reduced gradient + the scalar error. P is
         // NOT communicated: every rank applies the identical update below.
+        // The collective is simulated, so its span is a near-zero sliver on
+        // the real timeline whose args carry the ledger's accounting: the
+        // simulated allreduce seconds and the bytes moved.
         const f64 comm_s =
             config.interconnect.allreduce_seconds(grad_payload, ranks) +
             config.interconnect.allreduce_seconds(
                 static_cast<i64>(sizeof(f64)), ranks);
+        const i64 comm_bytes =
+            InterconnectModel::allreduce_bytes(grad_payload, ranks) +
+            InterconnectModel::allreduce_bytes(static_cast<i64>(sizeof(f64)),
+                                               ranks);
+        {
+          obs::ScopedSpan comm_span("dist.allreduce", "dist");
+          comm_span.arg("sim_seconds", comm_s);
+          comm_span.arg("bytes", static_cast<f64>(comm_bytes));
+        }
         result.comm.gradient_bytes +=
             InterconnectModel::allreduce_bytes(grad_payload, ranks);
         result.comm.error_bytes += InterconnectModel::allreduce_bytes(
             static_cast<i64>(sizeof(f64)), ranks);
         result.comm.comm_seconds += comm_s;
         ++result.comm.steps;
+        if (obs::metrics_enabled()) {
+          auto& metrics = obs::MetricsRegistry::instance();
+          metrics.counter("dist.allreduce_bytes")
+              .inc(comm_bytes);
+          metrics.counter("dist.allreduces").inc();
+          metrics.gauge("dist.sim_comm_seconds")
+              .set(result.comm.comm_seconds);
+        }
 
         Stopwatch kf_watch;
-        kalman.update(grad, std::sqrt(static_cast<f64>(bs)) * abe, weights,
-                      step_norm_cap, abe);
-        flat.scatter(weights);
-        const f64 kf_seconds = kf_watch.seconds();
+        f64 kf_seconds = 0.0;
+        {
+          obs::ScopedSpan kf_span("kf_update", "train");
+          kalman.update(grad, std::sqrt(static_cast<f64>(bs)) * abe, weights,
+                        step_norm_cap, abe);
+          flat.scatter(weights);
+          kf_seconds = kf_watch.seconds();
+        }
 
         result.compute_seconds += max_shard_seconds + kf_seconds;
         result.simulated_seconds += max_shard_seconds + comm_s + kf_seconds;
@@ -157,6 +187,13 @@ DistributedResult train_fekf_distributed(
             step_index, "rank_fail", "reshard",
             "rank " + std::to_string(live_ranks) + " failed; " +
                 std::to_string(live_ranks) + " survivors");
+        obs::TraceRecorder::instance().instant(
+            "fault.rank_fail", "fault", "step",
+            static_cast<f64>(step_index), "survivors",
+            static_cast<f64>(live_ranks));
+        for (train::TrainObserver* observer : config.options.observers) {
+          observer->on_fault(result.train.faults.events.back());
+        }
       }
       reduced_update(
           batch,
@@ -189,6 +226,9 @@ DistributedResult train_fekf_distributed(
                                     config.options.eval_forces);
     }
     result.train.history.push_back(record);
+    for (train::TrainObserver* observer : config.options.observers) {
+      observer->on_eval(record);
+    }
     if (!result.train.converged && config.options.target_total_rmse > 0.0 &&
         record.train.total() <= config.options.target_total_rmse) {
       result.train.converged = true;

@@ -1,0 +1,336 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "core/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace fekf::obs {
+
+std::atomic<bool> TraceRecorder::enabled_{false};
+std::atomic<bool> TraceRecorder::kernel_spans_{false};
+
+namespace {
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+/// JSON string escaper for names/categories/keys (all repo-controlled
+/// literals, but exported files must stay valid for any input).
+void append_json_string(std::string& out, const char* s) {
+  out += '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_number(std::string& out, f64 v) {
+  // JSON has no NaN/Infinity literals; args carrying a diverged value
+  // (e.g. a NaN ABE on a rolled-back step) export as null.
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+struct TraceRecorder::ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  i32 tid = 0;
+};
+
+struct TraceRecorder::Impl {
+  mutable std::mutex registry_mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> live;
+  std::vector<TraceEvent> retired;
+  i32 next_tid = 0;
+};
+
+TraceRecorder::TraceRecorder() : impl_(new Impl) {
+  trace_epoch();  // pin the time base at recorder construction
+}
+
+TraceRecorder& TraceRecorder::instance() {
+  // Leaked singleton: pool workers retire their buffers during static
+  // destruction, after which the env-driven exporter still reads them —
+  // a destructed recorder would turn both into use-after-free.
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::set_enabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void TraceRecorder::set_kernel_spans(bool on) {
+  kernel_spans_.store(on, std::memory_order_relaxed);
+}
+
+i64 TraceRecorder::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+namespace {
+
+/// Owns the calling thread's buffer registration; retires the buffer's
+/// events into the recorder when the thread exits.
+struct ThreadBufferOwner {
+  TraceRecorder::ThreadBuffer* buffer;
+  ThreadBufferOwner() : buffer(&TraceRecorder::instance().register_thread()) {}
+  ~ThreadBufferOwner() { TraceRecorder::instance().retire_thread(*buffer); }
+};
+
+TraceRecorder::ThreadBuffer& local_buffer() {
+  thread_local ThreadBufferOwner owner;
+  return *owner.buffer;
+}
+
+}  // namespace
+
+TraceRecorder::ThreadBuffer& TraceRecorder::register_thread() {
+  std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+  impl_->live.push_back(std::make_unique<ThreadBuffer>());
+  impl_->live.back()->tid = impl_->next_tid++;
+  return *impl_->live.back();
+}
+
+void TraceRecorder::retire_thread(ThreadBuffer& buffer) {
+  std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+  {
+    std::lock_guard<std::mutex> buf_lock(buffer.mutex);
+    impl_->retired.insert(impl_->retired.end(), buffer.events.begin(),
+                          buffer.events.end());
+    buffer.events.clear();
+  }
+  // The ThreadBuffer itself stays in `live` (it keeps its tid); only its
+  // events move, so a re-registered id is never reused.
+}
+
+void TraceRecorder::record(const TraceEvent& event) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = local_buffer();
+  TraceEvent copy = event;
+  copy.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(copy);
+}
+
+void TraceRecorder::instant(const char* name, const char* cat) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_ns = now_ns();
+  record(e);
+}
+
+void TraceRecorder::instant(const char* name, const char* cat,
+                            const char* key, f64 value) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_ns = now_ns();
+  e.nargs = 1;
+  e.arg_keys[0] = key;
+  e.arg_vals[0] = value;
+  record(e);
+}
+
+void TraceRecorder::instant(const char* name, const char* cat,
+                            const char* key0, f64 val0, const char* key1,
+                            f64 val1) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_ns = now_ns();
+  e.nargs = 2;
+  e.arg_keys[0] = key0;
+  e.arg_vals[0] = val0;
+  e.arg_keys[1] = key1;
+  e.arg_vals[1] = val1;
+  record(e);
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+  std::vector<TraceEvent> out = impl_->retired;
+  for (const auto& buffer : impl_->live) {
+    std::lock_guard<std::mutex> buf_lock(buffer->mutex);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+i64 TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+  i64 n = static_cast<i64>(impl_->retired.size());
+  for (const auto& buffer : impl_->live) {
+    std::lock_guard<std::mutex> buf_lock(buffer->mutex);
+    n += static_cast<i64>(buffer->events.size());
+  }
+  return n;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+  impl_->retired.clear();
+  for (const auto& buffer : impl_->live) {
+    std::lock_guard<std::mutex> buf_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::map<std::string, f64> TraceRecorder::span_seconds_by_name() const {
+  std::map<std::string, f64> totals;
+  for (const TraceEvent& e : snapshot()) {
+    if (e.dur_ns >= 0) {
+      totals[e.name] += static_cast<f64>(e.dur_ns) * 1e-9;
+    }
+  }
+  return totals;
+}
+
+std::string TraceRecorder::chrome_trace_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 120 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":";
+    append_json_string(out, e.name);
+    out += ",\"cat\":";
+    append_json_string(out, e.cat);
+    const bool complete = e.dur_ns >= 0;
+    out += complete ? ",\"ph\":\"X\"" : ",\"ph\":\"i\",\"s\":\"t\"";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f",
+                  static_cast<f64>(e.ts_ns) * 1e-3);
+    out += buf;
+    if (complete) {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
+                    static_cast<f64>(e.dur_ns) * 1e-3);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%d",
+                  static_cast<int>(e.tid));
+    out += buf;
+    if (e.nargs > 0) {
+      out += ",\"args\":{";
+      for (i32 a = 0; a < e.nargs; ++a) {
+        if (a > 0) out += ",";
+        append_json_string(out, e.arg_keys[a]);
+        out += ":";
+        append_json_number(out, e.arg_vals[a]);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void TraceRecorder::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  FEKF_CHECK(f != nullptr, "cannot open trace file '" + path + "'");
+  const std::string json = chrome_trace_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+// ---------------------------------------------------------------------------
+// Environment activation: FEKF_TRACE=<path> enables tracing at startup and
+// writes the Chrome trace at process exit; FEKF_METRICS=<path> does the
+// same for the metrics registry dump; FEKF_TRACE_KERNELS=1 adds per-kernel
+// spans on top of tracing. Construction order is safe because the
+// constructor touches instance() (leaked) before anything records.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct EnvActivation {
+  std::string trace_path;
+  std::string metrics_path;
+
+  EnvActivation() {
+    if (const char* path = std::getenv("FEKF_TRACE")) {
+      if (path[0] != '\0') {
+        trace_path = path;
+        TraceRecorder::instance().set_enabled(true);
+      }
+    }
+    if (const char* on = std::getenv("FEKF_TRACE_KERNELS")) {
+      if (on[0] != '\0' && !(on[0] == '0' && on[1] == '\0')) {
+        TraceRecorder::instance().set_kernel_spans(true);
+      }
+    }
+    if (const char* path = std::getenv("FEKF_METRICS")) {
+      if (path[0] != '\0') {
+        metrics_path = path;
+        set_metrics_enabled(true);
+      }
+    }
+  }
+
+  ~EnvActivation() {
+    // Best-effort export: a failing write must not escape a destructor
+    // during process teardown.
+    try {
+      if (!trace_path.empty()) {
+        TraceRecorder::instance().write_chrome_trace(trace_path);
+      }
+      if (!metrics_path.empty()) {
+        MetricsRegistry::instance().write_json(metrics_path);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[warn] observability export failed: %s\n",
+                   e.what());
+    }
+  }
+};
+
+const EnvActivation g_env_activation;
+
+}  // namespace
+
+}  // namespace fekf::obs

@@ -1,0 +1,152 @@
+// Structured tracing (DESIGN.md §11 "Observability").
+//
+// The paper's Figure 7 evidence is *attribution*: which phase of an
+// iteration the time goes to (7c) and which kernels the launches go to
+// (7b). TraceRecorder collects that attribution as spans — RAII windows
+// with steady-clock timestamps, a category, and up to two numeric
+// arguments — into thread-local buffers, and exports the Chrome
+// `trace_event` JSON format, loadable in chrome://tracing or Perfetto.
+//
+// Cost model (the contract every instrumentation site relies on):
+//  * disabled (the default): constructing a ScopedSpan is ONE relaxed
+//    atomic load and no allocation — the step hot path stays allocation-
+//    free, verified by a counting-operator-new test in tests/test_obs.cpp.
+//  * enabled: two steady_clock reads plus one append to a thread-local
+//    buffer under an uncontended per-thread mutex (~100 ns/span). Kernel-
+//    level spans (one per primitive kernel launch) are an additional
+//    opt-in (FEKF_TRACE_KERNELS) on top of tracing because they run at
+//    ~100x the frequency of phase spans.
+//
+// Activation: set FEKF_TRACE=<path> in the environment — tracing is
+// enabled at startup and the Chrome trace is written to <path> at process
+// exit. Benches and tests can also drive the recorder programmatically
+// (set_enabled / snapshot / write_chrome_trace).
+//
+// Thread ids are stable: each OS thread is assigned a small dense id the
+// first time it records, and keeps it for the life of the process (pool
+// workers persist, so phase spans land on the same tracks step after
+// step). Buffers of exited threads are retired into the recorder, so no
+// event is lost.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <atomic>
+
+#include "core/common.hpp"
+
+namespace fekf::obs {
+
+/// One trace event. `name` and `cat` must be string literals (or otherwise
+/// outlive the recorder): events store the pointers, never copies, so the
+/// enabled path does not allocate per event either.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  i64 ts_ns = 0;    ///< start, steady-clock ns since the recorder epoch
+  i64 dur_ns = -1;  ///< span duration; < 0 marks an instant event
+  i32 tid = 0;      ///< dense stable thread id (main thread records first)
+  i32 nargs = 0;
+  const char* arg_keys[2] = {nullptr, nullptr};
+  f64 arg_vals[2] = {0.0, 0.0};
+};
+
+class TraceRecorder {
+ public:
+  /// Process-wide recorder. First call pins the time epoch.
+  static TraceRecorder& instance();
+
+  /// Fast global gate, read (relaxed) by every span site.
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on);
+
+  /// Kernel-launch spans: only honored while tracing is enabled.
+  static bool kernel_spans_enabled() {
+    return kernel_spans_.load(std::memory_order_relaxed) && enabled();
+  }
+  void set_kernel_spans(bool on);
+
+  /// Steady-clock nanoseconds since the recorder epoch.
+  static i64 now_ns();
+
+  /// Append a finished event to the calling thread's buffer (no-op while
+  /// disabled, so late ~ScopedSpan around a set_enabled(false) is safe).
+  void record(const TraceEvent& event);
+
+  /// Record an instant event ("i" phase) with optional numeric arguments.
+  void instant(const char* name, const char* cat);
+  void instant(const char* name, const char* cat, const char* key, f64 value);
+  void instant(const char* name, const char* cat, const char* key0, f64 val0,
+               const char* key1, f64 val1);
+
+  /// Copy of every event recorded so far (live buffers + retired threads).
+  std::vector<TraceEvent> snapshot() const;
+  i64 event_count() const;
+
+  /// Drop all recorded events (thread ids are kept).
+  void clear();
+
+  /// Total seconds of complete spans, grouped by event name — the
+  /// span-derived Figure 7(c) phase split used by bench_fig7bc_kernels.
+  std::map<std::string, f64> span_seconds_by_name() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}).
+  std::string chrome_trace_json() const;
+  void write_chrome_trace(const std::string& path) const;
+
+  // Internal: thread-buffer registry (used by the thread_local owner).
+  struct ThreadBuffer;
+  ThreadBuffer& register_thread();
+  void retire_thread(ThreadBuffer& buffer);
+
+ private:
+  TraceRecorder();
+
+  static std::atomic<bool> enabled_;
+  static std::atomic<bool> kernel_spans_;
+
+  struct Impl;
+  Impl* impl_;  // never freed: outlives static destruction races
+};
+
+/// RAII span. Passing a null name constructs an inert span (used by
+/// conditional sites such as kernel launches). Arguments attach to the
+/// span's "args" object in the export.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* cat = "fekf") {
+    if (name != nullptr && TraceRecorder::enabled()) {
+      active_ = true;
+      event_.name = name;
+      event_.cat = cat;
+      event_.ts_ns = TraceRecorder::now_ns();
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) {
+      event_.dur_ns = TraceRecorder::now_ns() - event_.ts_ns;
+      TraceRecorder::instance().record(event_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach a numeric argument (up to two; extras are dropped).
+  void arg(const char* key, f64 value) {
+    if (active_ && event_.nargs < 2) {
+      event_.arg_keys[event_.nargs] = key;
+      event_.arg_vals[event_.nargs] = value;
+      ++event_.nargs;
+    }
+  }
+
+  bool active() const { return active_; }
+
+ private:
+  TraceEvent event_;
+  bool active_ = false;
+};
+
+}  // namespace fekf::obs

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/kernels.hpp"
 
@@ -123,6 +124,9 @@ void KalmanOptimizer::recondition() {
 void KalmanOptimizer::update(std::span<const f64> g, f64 kscale,
                              std::span<f64> w,
                              std::optional<f64> step_norm_cap, f64 abe) {
+  obs::ScopedSpan span("kalman.update", "optim");
+  span.arg("blocks", static_cast<f64>(blocks_.size()));
+  span.arg("abe", abe);
   const f64 cap = step_norm_cap.value_or(config_.max_step_norm);
   FEKF_CHECK(static_cast<i64>(g.size()) == total_ &&
                  static_cast<i64>(w.size()) == total_,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace fekf::optim {
 
 NaiveEkf::NaiveEkf(std::vector<BlockSpec> blocks, KalmanConfig config,
@@ -18,6 +20,8 @@ NaiveEkf::NaiveEkf(std::vector<BlockSpec> blocks, KalmanConfig config,
 
 void NaiveEkf::accumulate(i64 slot, std::span<const f64> g, f64 kscale) {
   FEKF_CHECK(slot >= 0 && slot < slots(), "slot out of range");
+  obs::ScopedSpan span("naive_ekf.accumulate", "optim");
+  span.arg("slot", static_cast<f64>(slot));
   // Run the slot's Kalman update against a zero weight vector to obtain
   // this sample's increment K * kscale, then fold it into the mean.
   std::vector<f64> delta(increment_.size(), 0.0);
@@ -29,6 +33,7 @@ void NaiveEkf::accumulate(i64 slot, std::span<const f64> g, f64 kscale) {
 }
 
 void NaiveEkf::commit(std::span<f64> w) {
+  obs::ScopedSpan span("naive_ekf.commit", "optim");
   FEKF_CHECK(w.size() == increment_.size(), "weight size mismatch");
   FEKF_CHECK(accumulated_ > 0, "commit without accumulated samples");
   const f64 inv = 1.0 / static_cast<f64>(accumulated_);

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "core/common.hpp"
+#include "obs/trace.hpp"
 
 namespace fekf {
 
@@ -47,6 +48,26 @@ class KernelCounter {
   static std::atomic<i64> total_;
   static std::mutex mutex_;
   static std::map<std::string, i64>& names();
+};
+
+/// RAII kernel-launch marker placed at the top of every primitive kernel:
+/// records one KernelCounter launch AND — when FEKF_TRACE_KERNELS is on
+/// top of tracing — opens a "kernel"-category span covering the kernel
+/// body, so every counted launch in Figure 7(b) is attributable on the
+/// trace timeline. `name` must be a string literal. Disabled cost: the
+/// counter's relaxed load plus one relaxed load for the span gate.
+class KernelLaunch {
+ public:
+  explicit KernelLaunch(const char* name)
+      : span_(obs::TraceRecorder::kernel_spans_enabled() ? name : nullptr,
+              "kernel") {
+    KernelCounter::record(name);
+  }
+  KernelLaunch(const KernelLaunch&) = delete;
+  KernelLaunch& operator=(const KernelLaunch&) = delete;
+
+ private:
+  obs::ScopedSpan span_;
 };
 
 /// RAII: enable counting, reset, and read the delta on destruction.

@@ -27,7 +27,7 @@ template <typename Fn>
 Tensor elementwise2(const Tensor& a, const Tensor& b, const char* name,
                     Fn&& fn) {
   check_same_shape(a, b, name);
-  KernelCounter::record(name);
+  KernelLaunch launch(name);
   Tensor out(a.rows(), a.cols());
   const f32* pa = a.data();
   const f32* pb = b.data();
@@ -43,7 +43,7 @@ Tensor elementwise2(const Tensor& a, const Tensor& b, const char* name,
 
 template <typename Fn>
 Tensor elementwise1(const Tensor& a, const char* name, Fn&& fn) {
-  KernelCounter::record(name);
+  KernelLaunch launch(name);
   Tensor out(a.rows(), a.cols());
   const f32* pa = a.data();
   f32* po = out.data();
@@ -94,7 +94,7 @@ Tensor tanh_backward(const Tensor& grad_y, const Tensor& y) {
 Tensor matmul(const Tensor& a, const Tensor& b) {
   FEKF_CHECK(a.cols() == b.rows(), "matmul: inner dims " + a.shape_str() +
                                        " * " + b.shape_str());
-  KernelCounter::record("matmul");
+  KernelLaunch launch("matmul");
   const i64 m = a.rows(), k = a.cols(), n = b.cols();
   Tensor out = Tensor::zeros(m, n);
   const f32* __restrict__ pa = a.data();
@@ -119,7 +119,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   FEKF_CHECK(a.rows() == b.rows(), "matmul_tn: inner dims " + a.shape_str() +
                                        "^T * " + b.shape_str());
-  KernelCounter::record("matmul_tn");
+  KernelLaunch launch("matmul_tn");
   const i64 k = a.rows(), m = a.cols(), n = b.cols();
   Tensor out = Tensor::zeros(m, n);
   const f32* __restrict__ pa = a.data();
@@ -148,7 +148,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   FEKF_CHECK(a.cols() == b.cols(), "matmul_nt: inner dims " + a.shape_str() +
                                        " * " + b.shape_str() + "^T");
-  KernelCounter::record("matmul_nt");
+  KernelLaunch launch("matmul_nt");
   const i64 m = a.rows(), k = a.cols(), n = b.rows();
   Tensor out(m, n);
   const f32* __restrict__ pa = a.data();
@@ -174,7 +174,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
 }
 
 Tensor transpose(const Tensor& a) {
-  KernelCounter::record("transpose");
+  KernelLaunch launch("transpose");
   Tensor out(a.cols(), a.rows());
   const f32* pa = a.data();
   f32* po = out.data();
@@ -193,7 +193,7 @@ Tensor transpose(const Tensor& a) {
 Tensor add_rowvec(const Tensor& mat, const Tensor& row) {
   FEKF_CHECK(row.rows() == 1 && row.cols() == mat.cols(),
              "add_rowvec: " + mat.shape_str() + " + " + row.shape_str());
-  KernelCounter::record("add_rowvec");
+  KernelLaunch launch("add_rowvec");
   Tensor out(mat.rows(), mat.cols());
   const f32* pm = mat.data();
   const f32* pr = row.data();
@@ -212,7 +212,7 @@ Tensor add_rowvec(const Tensor& mat, const Tensor& row) {
 
 Tensor broadcast_rows(const Tensor& row, i64 m) {
   FEKF_CHECK(row.rows() == 1, "broadcast_rows expects a 1xn row");
-  KernelCounter::record("broadcast_rows");
+  KernelLaunch launch("broadcast_rows");
   Tensor out(m, row.cols());
   const i64 n = row.cols();
   parallel_for_blocks(
@@ -229,7 +229,7 @@ Tensor broadcast_rows(const Tensor& row, i64 m) {
 
 Tensor broadcast_cols(const Tensor& col, i64 n) {
   FEKF_CHECK(col.cols() == 1, "broadcast_cols expects an mx1 column");
-  KernelCounter::record("broadcast_cols");
+  KernelLaunch launch("broadcast_cols");
   const i64 m = col.rows();
   Tensor out(m, n);
   const f32* pc = col.data();
@@ -250,7 +250,7 @@ Tensor linear_fused(const Tensor& x, const Tensor& w, const Tensor& bias) {
   FEKF_CHECK(x.cols() == w.rows() && bias.rows() == 1 && bias.cols() == w.cols(),
              "linear_fused: " + x.shape_str() + " * " + w.shape_str() + " + " +
                  bias.shape_str());
-  KernelCounter::record("linear_fused");
+  KernelLaunch launch("linear_fused");
   const i64 m = x.rows(), k = x.cols(), n = w.cols();
   Tensor out(m, n);
   const f32* __restrict__ px = x.data();
@@ -277,12 +277,12 @@ Tensor linear_fused(const Tensor& x, const Tensor& w, const Tensor& bias) {
 
 Tensor broadcast_full(const Tensor& scalar, i64 m, i64 n) {
   FEKF_CHECK(scalar.numel() == 1, "broadcast_full expects a scalar");
-  KernelCounter::record("broadcast_full");
+  KernelLaunch launch("broadcast_full");
   return Tensor::full(m, n, scalar.item());
 }
 
 Tensor sum_all(const Tensor& a) {
-  KernelCounter::record("sum_all");
+  KernelLaunch launch("sum_all");
   const f32* pa = a.data();
   const f64 acc = parallel_reduce_f64(0, a.numel(), kReduceChunk,
                                       [pa](i64 lo, i64 hi) {
@@ -296,7 +296,7 @@ Tensor sum_all(const Tensor& a) {
 }
 
 Tensor sum_rows(const Tensor& a) {
-  KernelCounter::record("sum_rows");
+  KernelLaunch launch("sum_rows");
   const i64 m = a.rows(), n = a.cols();
   Tensor out(1, n);
   const f32* pa = a.data();
@@ -315,7 +315,7 @@ Tensor sum_rows(const Tensor& a) {
 }
 
 Tensor sum_cols(const Tensor& a) {
-  KernelCounter::record("sum_cols");
+  KernelLaunch launch("sum_cols");
   const i64 m = a.rows(), n = a.cols();
   Tensor out(m, 1);
   const f32* pa = a.data();
@@ -335,7 +335,7 @@ Tensor sum_cols(const Tensor& a) {
 
 Tensor slice_cols(const Tensor& a, i64 c0, i64 c1) {
   FEKF_CHECK(0 <= c0 && c0 <= c1 && c1 <= a.cols(), "slice_cols bounds");
-  KernelCounter::record("slice_cols");
+  KernelLaunch launch("slice_cols");
   const i64 m = a.rows(), n = a.cols(), w = c1 - c0;
   Tensor out(m, w);
   parallel_for_blocks(
@@ -352,7 +352,7 @@ Tensor slice_cols(const Tensor& a, i64 c0, i64 c1) {
 
 Tensor pad_cols(const Tensor& a, i64 cols, i64 c0) {
   FEKF_CHECK(c0 >= 0 && c0 + a.cols() <= cols, "pad_cols bounds");
-  KernelCounter::record("pad_cols");
+  KernelLaunch launch("pad_cols");
   const i64 m = a.rows(), w = a.cols();
   Tensor out = Tensor::zeros(m, cols);
   parallel_for_blocks(
@@ -369,7 +369,7 @@ Tensor pad_cols(const Tensor& a, i64 cols, i64 c0) {
 
 Tensor slice_rows(const Tensor& a, i64 r0, i64 r1) {
   FEKF_CHECK(0 <= r0 && r0 <= r1 && r1 <= a.rows(), "slice_rows bounds");
-  KernelCounter::record("slice_rows");
+  KernelLaunch launch("slice_rows");
   const i64 n = a.cols(), h = r1 - r0;
   Tensor out(h, n);
   std::memcpy(out.data(), a.data() + r0 * n,
@@ -379,7 +379,7 @@ Tensor slice_rows(const Tensor& a, i64 r0, i64 r1) {
 
 Tensor pad_rows(const Tensor& a, i64 rows, i64 r0) {
   FEKF_CHECK(r0 >= 0 && r0 + a.rows() <= rows, "pad_rows bounds");
-  KernelCounter::record("pad_rows");
+  KernelLaunch launch("pad_rows");
   const i64 n = a.cols();
   Tensor out = Tensor::zeros(rows, n);
   std::memcpy(out.data() + r0 * n, a.data(),
@@ -389,7 +389,7 @@ Tensor pad_rows(const Tensor& a, i64 rows, i64 r0) {
 
 Tensor concat_rows(const Tensor& a, const Tensor& b) {
   FEKF_CHECK(a.cols() == b.cols(), "concat_rows: column mismatch");
-  KernelCounter::record("concat_rows");
+  KernelLaunch launch("concat_rows");
   Tensor out(a.rows() + b.rows(), a.cols());
   std::memcpy(out.data(), a.data(),
               static_cast<std::size_t>(a.numel()) * sizeof(f32));
@@ -399,13 +399,13 @@ Tensor concat_rows(const Tensor& a, const Tensor& b) {
 }
 
 Tensor copy(const Tensor& a) {
-  KernelCounter::record("copy");
+  KernelLaunch launch("copy");
   return a.clone();
 }
 
 f64 dot_all(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "dot_all");
-  KernelCounter::record("dot_all");
+  KernelLaunch launch("dot_all");
   const f32* pa = a.data();
   const f32* pb = b.data();
   return parallel_reduce_f64(0, a.numel(), kReduceChunk,
@@ -428,7 +428,7 @@ void symv(std::span<const f64> p, std::span<const f64> g, std::span<f64> y,
                  static_cast<i64>(g.size()) == n &&
                  static_cast<i64>(y.size()) == n,
              "symv size mismatch");
-  KernelCounter::record("ekf_symv");
+  KernelLaunch launch("ekf_symv");
   const f64* __restrict__ pp = p.data();
   const f64* __restrict__ pg = g.data();
   f64* __restrict__ py = y.data();
@@ -447,7 +447,7 @@ void symv(std::span<const f64> p, std::span<const f64> g, std::span<f64> y,
 
 f64 dot(std::span<const f64> a, std::span<const f64> b) {
   FEKF_CHECK(a.size() == b.size(), "dot size mismatch");
-  KernelCounter::record("ekf_dot");
+  KernelLaunch launch("ekf_dot");
   const f64* pa = a.data();
   const f64* pb = b.data();
   return parallel_reduce_f64(0, static_cast<i64>(a.size()), kReduceChunk,
@@ -460,7 +460,7 @@ f64 dot(std::span<const f64> a, std::span<const f64> b) {
 
 void axpy(f64 alpha, std::span<const f64> x, std::span<f64> y) {
   FEKF_CHECK(x.size() == y.size(), "axpy size mismatch");
-  KernelCounter::record("ekf_axpy");
+  KernelLaunch launch("ekf_axpy");
   const f64* px = x.data();
   f64* py = y.data();
   parallel_for_blocks(
@@ -478,31 +478,35 @@ void p_update_unfused(std::span<f64> p, std::span<const f64> k, f64 inv_a,
                  static_cast<i64>(scratch.size()) >= n * n,
              "p_update_unfused size mismatch");
   // Launch 1: outer product tmp = k k^T (materialized, like torch.matmul).
-  KernelCounter::record("ekf_outer");
   f64* __restrict__ tmp = scratch.data();
   const f64* __restrict__ pk = k.data();
-  parallel_for_blocks(
-      0, n,
-      [&](i64 rlo, i64 rhi) {
-        for (i64 i = rlo; i < rhi; ++i) {
-          const f64 ki = pk[i];
-          f64* __restrict__ row = tmp + i * n;
-          for (i64 j = 0; j < n; ++j) row[j] = ki * pk[j];
-        }
-      },
-      grain_items(n));
+  {
+    KernelLaunch launch("ekf_outer");
+    parallel_for_blocks(
+        0, n,
+        [&](i64 rlo, i64 rhi) {
+          for (i64 i = rlo; i < rhi; ++i) {
+            const f64 ki = pk[i];
+            f64* __restrict__ row = tmp + i * n;
+            for (i64 j = 0; j < n; ++j) row[j] = ki * pk[j];
+          }
+        },
+        grain_items(n));
+  }
   // Launch 2: P = (P - tmp * inv_a) / lambda.
-  KernelCounter::record("ekf_sub_scale");
   f64* __restrict__ pp = p.data();
   const f64 inv_lambda = 1.0 / lambda;
-  parallel_for_blocks(
-      0, n * n,
-      [&](i64 lo, i64 hi) {
-        for (i64 i = lo; i < hi; ++i) {
-          pp[i] = (pp[i] - inv_a * tmp[i]) * inv_lambda;
-        }
-      },
-      kGrainWork);
+  {
+    KernelLaunch launch("ekf_sub_scale");
+    parallel_for_blocks(
+        0, n * n,
+        [&](i64 lo, i64 hi) {
+          for (i64 i = lo; i < hi; ++i) {
+            pp[i] = (pp[i] - inv_a * tmp[i]) * inv_lambda;
+          }
+        },
+        kGrainWork);
+  }
   // Launch 3: symmetrize (Algorithm 1, line 11).
   symmetrize(p, n);
 }
@@ -512,7 +516,7 @@ void p_update_fused(std::span<f64> p, std::span<const f64> k, f64 inv_a,
   FEKF_CHECK(static_cast<i64>(p.size()) == n * n &&
                  static_cast<i64>(k.size()) == n,
              "p_update_fused size mismatch");
-  KernelCounter::record("ekf_p_update_fused");
+  KernelLaunch launch("ekf_p_update_fused");
   f64* __restrict__ pp = p.data();
   const f64* __restrict__ pk = k.data();
   const f64 inv_lambda = 1.0 / lambda;
@@ -540,7 +544,7 @@ void p_update_fused(std::span<f64> p, std::span<const f64> k, f64 inv_a,
 
 void symmetrize(std::span<f64> p, i64 n) {
   FEKF_CHECK(static_cast<i64>(p.size()) == n * n, "symmetrize size mismatch");
-  KernelCounter::record("ekf_symmetrize");
+  KernelLaunch launch("ekf_symmetrize");
   f64* __restrict__ pp = p.data();
   // Same pair-ownership argument as p_update_fused: row i owns {(i,j),
   // (j,i)} for j > i.

@@ -1,5 +1,7 @@
 #include "train/checkpoint.hpp"
 
+#include "obs/trace.hpp"
+
 namespace fekf::train {
 
 namespace {
@@ -93,6 +95,8 @@ const char* optimizer_kind_name(OptimizerCheckpoint::Kind kind) {
 void save_checkpoint(const TrainingCheckpoint& ckpt,
                      const deepmd::DeepmdModel& model,
                      const std::string& path) {
+  obs::ScopedSpan span("checkpoint.save", "checkpoint");
+  span.arg("step", static_cast<f64>(ckpt.steps));
   TextWriter w;
   // P blocks dominate; reserve roughly one 22-char hex float per entry.
   std::size_t p_entries = ckpt.optimizer.kalman.p.size();
@@ -199,6 +203,7 @@ void save_checkpoint(const TrainingCheckpoint& ckpt,
 }
 
 LoadedCheckpoint load_checkpoint(const std::string& path) {
+  obs::ScopedSpan span("checkpoint.load", "checkpoint");
   const std::string body = read_checksummed_file(path, kMagic);
   TextReader r(body, path);
   TrainingCheckpoint ckpt;

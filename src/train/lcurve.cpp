@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "train/observer.hpp"
+
 namespace fekf::train {
 
 namespace {
@@ -13,17 +15,13 @@ struct FileCloser {
 };
 }  // namespace
 
+// The writer is the streaming LcurveObserver; a finished history is just
+// replayed through the same code path, so live and post-hoc lcurve files
+// are byte-identical.
 void write_lcurve(const TrainResult& result, const std::string& path) {
-  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "w"));
-  FEKF_CHECK(f != nullptr, "cannot open '" + path + "' for writing");
-  std::fprintf(f.get(),
-               "epoch,seconds,train_e_rmse,train_f_rmse,test_e_rmse,"
-               "test_f_rmse\n");
+  LcurveObserver observer(path);
   for (const EpochRecord& rec : result.history) {
-    std::fprintf(f.get(), "%lld,%.6f,%.8g,%.8g,%.8g,%.8g\n",
-                 static_cast<long long>(rec.epoch), rec.cumulative_seconds,
-                 rec.train.energy_rmse, rec.train.force_rmse,
-                 rec.test.energy_rmse, rec.test.force_rmse);
+    observer.on_eval(rec);
   }
 }
 

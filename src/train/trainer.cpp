@@ -8,7 +8,10 @@
 #include "autograd/ops.hpp"
 #include "core/log.hpp"
 #include "data/dataset.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "train/observer.hpp"
 
 namespace fekf::train {
 
@@ -126,10 +129,15 @@ TrainResult run_resilient_epochs(deepmd::DeepmdModel& model,
       const i64 step_index = result.steps + 1;
       StepSignals sig;
       std::exception_ptr error;
-      try {
-        sig = hooks.run_step(std::span<const EnvPtr>(batch), step_index);
-      } catch (...) {
-        error = std::current_exception();
+      Stopwatch step_watch;
+      {
+        obs::ScopedSpan step_span("step", "train");
+        step_span.arg("step", static_cast<f64>(step_index));
+        try {
+          sig = hooks.run_step(std::span<const EnvPtr>(batch), step_index);
+        } catch (...) {
+          error = std::current_exception();
+        }
       }
       if (error && !options.sentinels) std::rethrow_exception(error);
 
@@ -167,6 +175,12 @@ TrainResult run_resilient_epochs(deepmd::DeepmdModel& model,
         result.recovery_seconds += recovery.seconds();
         result.faults.record(step_index, reason, "rollback_skip_batch",
                              detail);
+        obs::TraceRecorder::instance().instant("fault.rollback", "fault",
+                                               "step",
+                                               static_cast<f64>(step_index));
+        for (TrainObserver* observer : options.observers) {
+          observer->on_fault(result.faults.events.back());
+        }
         if (options.verbose) {
           FEKF_WARN << "step " << step_index << ": " << reason
                     << " — rolled back to last good state, batch skipped";
@@ -181,6 +195,27 @@ TrainResult run_resilient_epochs(deepmd::DeepmdModel& model,
       // Skipped batches still count as attempted steps, so fault triggers
       // keyed on the step index stay deterministic across reruns.
       ++result.steps;
+
+      if (obs::metrics_enabled()) {
+        auto& metrics = obs::MetricsRegistry::instance();
+        metrics.counter("train.steps").inc();
+        metrics.histogram("train.step_seconds").record(step_watch.seconds());
+        if (!reason.empty()) metrics.counter("train.rollbacks").inc();
+        metrics.gauge("train.loss_ema").set(loss_ema);
+      }
+      if (!options.observers.empty()) {
+        StepEvent step_event;
+        step_event.step = step_index;
+        step_event.epoch = epoch;
+        step_event.loss = sig.loss;
+        step_event.grad_norm2 = sig.grad_norm2;
+        step_event.seconds = step_watch.seconds();
+        step_event.rolled_back = !reason.empty();
+        step_event.fault_kind = reason;
+        for (TrainObserver* observer : options.observers) {
+          observer->on_step(step_event);
+        }
+      }
 
       if (options.checkpoint_every > 0 &&
           result.steps % options.checkpoint_every == 0) {
@@ -200,8 +235,26 @@ TrainResult run_resilient_epochs(deepmd::DeepmdModel& model,
           FaultInjector::corrupt_file(options.checkpoint_path);
           result.faults.record(result.steps, "corrupt_ckpt",
                                "injected_bit_flip", options.checkpoint_path);
+          for (TrainObserver* observer : options.observers) {
+            observer->on_fault(result.faults.events.back());
+          }
         }
         result.checkpoint_seconds += ckpt_watch.seconds();
+        if (obs::metrics_enabled()) {
+          auto& metrics = obs::MetricsRegistry::instance();
+          metrics.counter("train.checkpoints").inc();
+          metrics.histogram("checkpoint.write_seconds")
+              .record(ckpt_watch.seconds());
+        }
+        if (!options.observers.empty()) {
+          CheckpointEvent ckpt_event;
+          ckpt_event.step = result.steps;
+          ckpt_event.path = options.checkpoint_path;
+          ckpt_event.seconds = ckpt_watch.seconds();
+          for (TrainObserver* observer : options.observers) {
+            observer->on_checkpoint(ckpt_event);
+          }
+        }
       }
       if (options.max_steps > 0 && result.steps >= options.max_steps) {
         hit_max_steps = true;
@@ -212,11 +265,15 @@ TrainResult run_resilient_epochs(deepmd::DeepmdModel& model,
     EpochRecord record;
     record.epoch = epoch;
     record.cumulative_seconds = time_offset + watch.seconds();
-    record.train = evaluate(model, train_envs, options.eval_max_samples,
-                            options.eval_forces);
-    if (!test_envs.empty()) {
-      record.test = evaluate(model, test_envs, options.eval_max_samples,
-                             options.eval_forces);
+    {
+      obs::ScopedSpan eval_span("eval", "train");
+      eval_span.arg("epoch", static_cast<f64>(epoch));
+      record.train = evaluate(model, train_envs, options.eval_max_samples,
+                              options.eval_forces);
+      if (!test_envs.empty()) {
+        record.test = evaluate(model, test_envs, options.eval_max_samples,
+                               options.eval_forces);
+      }
     }
     if (options.verbose) {
       FEKF_INFO << "epoch " << epoch << " train E-RMSE "
@@ -225,6 +282,9 @@ TrainResult run_resilient_epochs(deepmd::DeepmdModel& model,
                 << "s)";
     }
     result.history.push_back(record);
+    for (TrainObserver* observer : options.observers) {
+      observer->on_eval(record);
+    }
     if (!result.converged && options.target_total_rmse > 0.0 &&
         record.train.total() <= options.target_total_rmse) {
       result.converged = true;
@@ -311,15 +371,25 @@ TrainResult AdamTrainer::train(std::span<const EnvPtr> train_envs,
   hooks.run_step = [&](std::span<const EnvPtr> batch,
                        i64 step_index) -> StepSignals {
     current_step_ = step_index;
-    ag::Variable loss = batch_loss(batch);
-    auto g = ag::grad(loss, params);
-    flat_.gather_grads(g, grads_);
+    ag::Variable loss;
+    {
+      obs::ScopedSpan span("forward", "train");
+      loss = batch_loss(batch);
+    }
+    {
+      obs::ScopedSpan span("gradient", "train");
+      auto g = ag::grad(loss, params);
+      flat_.gather_grads(g, grads_);
+    }
     if (FaultInjector::instance().fire(FaultKind::kNanGrad, step_index)) {
       grads_[0] = std::numeric_limits<f64>::quiet_NaN();
     }
     const f64 grad_norm2 = squared_norm(grads_);
-    adam_.step(grads_, weights_);
-    flat_.scatter(weights_);
+    {
+      obs::ScopedSpan span("adam_update", "train");
+      adam_.step(grads_, weights_);
+      flat_.scatter(weights_);
+    }
     return {static_cast<f64>(loss.item()), grad_norm2};
   };
   hooks.snapshot = [&] {
@@ -377,6 +447,7 @@ void KalmanTrainer::apply_fekf(const Measurement& measurement,
                                std::optional<f64> step_norm_cap) {
   auto params = flat_.params();
   {
+    obs::ScopedSpan span("gradient", "train");
     ScopedTimer timer(t_gradient_);
     auto g = ag::grad(measurement.m, params);
     flat_.gather_grads(g, grad_flat_);
@@ -385,6 +456,7 @@ void KalmanTrainer::apply_fekf(const Measurement& measurement,
     grad_flat_[0] = std::numeric_limits<f64>::quiet_NaN();
   }
   {
+    obs::ScopedSpan span("kf_update", "train");
     ScopedTimer timer(t_optimizer_);
     step_loss_ += std::abs(measurement.abe);
     step_grad_norm2_ += squared_norm(grad_flat_);
@@ -401,6 +473,7 @@ void KalmanTrainer::apply_naive_sample(i64 slot,
                                        const Measurement& measurement) {
   auto params = flat_.params();
   {
+    obs::ScopedSpan span("gradient", "train");
     ScopedTimer timer(t_gradient_);
     auto g = ag::grad(measurement.m, params);
     flat_.gather_grads(g, grad_flat_);
@@ -409,6 +482,7 @@ void KalmanTrainer::apply_naive_sample(i64 slot,
     grad_flat_[0] = std::numeric_limits<f64>::quiet_NaN();
   }
   {
+    obs::ScopedSpan span("kf_update", "train");
     ScopedTimer timer(t_optimizer_);
     step_loss_ += std::abs(measurement.abe);
     step_grad_norm2_ += squared_norm(grad_flat_);
@@ -420,6 +494,7 @@ void KalmanTrainer::energy_update(std::span<const EnvPtr> batch) {
   if (mode_ == EkfMode::kFekf) {
     Measurement m;
     {
+      obs::ScopedSpan span("forward", "train");
       ScopedTimer timer(t_forward_);
       m = energy_measurement(model_, batch);
     }
@@ -431,11 +506,13 @@ void KalmanTrainer::energy_update(std::span<const EnvPtr> batch) {
   for (std::size_t s = 0; s < batch.size(); ++s) {
     Measurement m;
     {
+      obs::ScopedSpan span("forward", "train");
       ScopedTimer timer(t_forward_);
       m = energy_measurement(model_, batch.subspan(s, 1));
     }
     apply_naive_sample(static_cast<i64>(s), m);
   }
+  obs::ScopedSpan span("kf_update", "train");
   ScopedTimer timer(t_optimizer_);
   naive_->commit(weights_);
   flat_.scatter(weights_);
@@ -446,6 +523,7 @@ void KalmanTrainer::force_update(std::span<const EnvPtr> batch,
   if (mode_ == EkfMode::kFekf) {
     Measurement m;
     {
+      obs::ScopedSpan span("forward", "train");
       ScopedTimer timer(t_forward_);
       m = force_measurement(model_, batch, group, options_.force_prefactor);
     }
@@ -456,12 +534,14 @@ void KalmanTrainer::force_update(std::span<const EnvPtr> batch,
   for (std::size_t s = 0; s < batch.size(); ++s) {
     Measurement m;
     {
+      obs::ScopedSpan span("forward", "train");
       ScopedTimer timer(t_forward_);
       m = force_measurement(model_, batch.subspan(s, 1), group,
                             options_.force_prefactor);
     }
     apply_naive_sample(static_cast<i64>(s), m);
   }
+  obs::ScopedSpan span("kf_update", "train");
   ScopedTimer timer(t_optimizer_);
   naive_->commit(weights_);
   flat_.scatter(weights_);

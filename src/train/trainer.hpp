@@ -36,6 +36,8 @@
 
 namespace fekf::train {
 
+class TrainObserver;
+
 struct TrainOptions {
   i64 batch_size = 1;
   i64 max_epochs = 20;
@@ -83,6 +85,13 @@ struct TrainOptions {
   /// Cuts a run at a checkpoint boundary (kill/resume tests, staged
   /// online-learning rounds).
   i64 max_steps = -1;
+
+  // --- observability (DESIGN.md §11) ---
+  /// Non-owning observer hooks (train/observer.hpp), invoked synchronously
+  /// by the resilient step loop: on_step after every optimizer step,
+  /// on_eval after each epoch evaluation, on_checkpoint after a checkpoint
+  /// write, on_fault on every recovery event. Must outlive train().
+  std::vector<TrainObserver*> observers;
 
   /// Reject non-positive sizes / non-finite rates with a clear Error.
   /// Called by both trainers before the first step.

@@ -1,0 +1,545 @@
+// Observability layer tests (DESIGN.md §11): Chrome-trace export shape,
+// span nesting and thread-id stability, metrics exactness under the thread
+// pool, histogram bucketing, the disabled-path zero-allocation contract,
+// the KernelLaunch count/span bridge, and the trainer observer hooks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <new>
+#include <sstream>
+
+#include "data/dataset.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/kernel_counter.hpp"
+#include "train/lcurve.hpp"
+#include "train/observer.hpp"
+#include "train/trainer.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting global allocator: the disabled-path contract ("constructing a
+// ScopedSpan is one relaxed load and no allocation") is asserted by
+// counting every operator new in the process.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<fekf::i64> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+// GCC's heuristic cannot see that our operator new malloc()s.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace fekf {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::ScopedSpan;
+using obs::TraceEvent;
+using obs::TraceRecorder;
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator — enough to certify the exports
+// are well-formed without a JSON dependency.
+// ---------------------------------------------------------------------------
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text)
+      : p_(text.c_str()), end_(text.c_str() + text.size()) {}
+
+  /// True iff the whole input is exactly one valid JSON value.
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return p_ == end_;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                         *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  bool literal(const char* s) {
+    const char* q = p_;
+    while (*s != '\0') {
+      if (q == end_ || *q != *s) return false;
+      ++q, ++s;
+    }
+    p_ = q;
+    return true;
+  }
+  bool string() {
+    if (p_ == end_ || *p_ != '"') return false;
+    ++p_;
+    while (p_ < end_ && *p_ != '"') {
+      if (static_cast<unsigned char>(*p_) < 0x20) return false;
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+        const char c = *p_;
+        if (c == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p_;
+            if (p_ == end_ || !std::isxdigit(static_cast<unsigned char>(*p_)))
+              return false;
+          }
+        } else if (c != '"' && c != '\\' && c != '/' && c != 'b' &&
+                   c != 'f' && c != 'n' && c != 'r' && c != 't') {
+          return false;
+        }
+      }
+      ++p_;
+    }
+    if (p_ == end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const char* q = p_;
+    if (q < end_ && *q == '-') ++q;
+    const char* digits = q;
+    while (q < end_ && std::isdigit(static_cast<unsigned char>(*q))) ++q;
+    if (q == digits) return false;
+    if (q < end_ && *q == '.') {
+      ++q;
+      const char* frac = q;
+      while (q < end_ && std::isdigit(static_cast<unsigned char>(*q))) ++q;
+      if (q == frac) return false;
+    }
+    if (q < end_ && (*q == 'e' || *q == 'E')) {
+      ++q;
+      if (q < end_ && (*q == '+' || *q == '-')) ++q;
+      const char* exp = q;
+      while (q < end_ && std::isdigit(static_cast<unsigned char>(*q))) ++q;
+      if (q == exp) return false;
+    }
+    p_ = q;
+    return true;
+  }
+  bool value() {
+    skip_ws();
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++p_;  // '{'
+    skip_ws();
+    if (p_ < end_ && *p_ == '}') return ++p_, true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (p_ == end_ || *p_ != ':') return false;
+      ++p_;
+      if (!value()) return false;
+      skip_ws();
+      if (p_ < end_ && *p_ == ',') {
+        ++p_;
+        continue;
+      }
+      break;
+    }
+    if (p_ == end_ || *p_ != '}') return false;
+    ++p_;
+    return true;
+  }
+  bool array() {
+    ++p_;  // '['
+    skip_ws();
+    if (p_ < end_ && *p_ == ']') return ++p_, true;
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (p_ < end_ && *p_ == ',') {
+        ++p_;
+        continue;
+      }
+      break;
+    }
+    if (p_ == end_ || *p_ != ']') return false;
+    ++p_;
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+/// RAII: force tracing to a known state, restore on exit, drop any events
+/// this test recorded.
+class TraceScope {
+ public:
+  explicit TraceScope(bool enabled, bool kernel_spans = false)
+      : was_enabled_(TraceRecorder::enabled()) {
+    TraceRecorder::instance().clear();
+    TraceRecorder::instance().set_enabled(enabled);
+    TraceRecorder::instance().set_kernel_spans(kernel_spans);
+  }
+  ~TraceScope() {
+    TraceRecorder::instance().set_kernel_spans(false);
+    TraceRecorder::instance().set_enabled(was_enabled_);
+    TraceRecorder::instance().clear();
+  }
+
+ private:
+  bool was_enabled_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+TEST(Trace, ChromeExportIsWellFormedJson) {
+  TraceScope scope(/*enabled=*/true);
+  {
+    ScopedSpan outer("outer", "test");
+    outer.arg("alpha", 1.5);
+    {
+      ScopedSpan inner("inner", "test");
+      inner.arg("beta", -2.0);
+      inner.arg("gamma", 3.0);
+      inner.arg("dropped", 4.0);  // third arg is dropped, not UB
+    }
+  }
+  TraceRecorder::instance().instant("mark", "test", "step", 7.0);
+  // Non-finite args (a NaN ABE on a diverged step) must export as null,
+  // not as an invalid bare `nan` token.
+  TraceRecorder::instance().instant(
+      "diverged", "test", "abe", std::numeric_limits<f64>::quiet_NaN());
+
+  const std::string json = TraceRecorder::instance().chrome_trace_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+  // Instant events use the Chrome "i" phase with thread scope.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Trace, SpansNestAndShareTheRecordingThreadId) {
+  TraceScope scope(/*enabled=*/true);
+  {
+    ScopedSpan outer("outer", "test");
+    ScopedSpan inner("inner", "test");
+  }
+  auto events = TraceRecorder::instance().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Destruction order records inner first; both land on the same thread.
+  const TraceEvent& inner = events[0].dur_ns >= 0 &&
+                                    std::string(events[0].name) == "inner"
+                                ? events[0]
+                                : events[1];
+  const TraceEvent& outer = &inner == &events[0] ? events[1] : events[0];
+  ASSERT_STREQ(inner.name, "inner");
+  ASSERT_STREQ(outer.name, "outer");
+  EXPECT_EQ(inner.tid, outer.tid);
+  // Proper containment: outer starts no later and ends no earlier.
+  EXPECT_LE(outer.ts_ns, inner.ts_ns);
+  EXPECT_GE(outer.ts_ns + outer.dur_ns, inner.ts_ns + inner.dur_ns);
+}
+
+TEST(Trace, ThreadIdsAreStableAndDense) {
+  // The guarantee is per OS thread: a thread keeps its dense id for the
+  // process lifetime (which workers participate in a given parallel_for is
+  // scheduling, not identity). The main thread's id must survive rounds of
+  // pool work unchanged, and the id universe must stay dense and bounded
+  // by the thread count instead of growing per round.
+  TraceScope scope(/*enabled=*/true);
+  {
+    ScopedSpan span("main_span", "test");
+  }
+  auto events = TraceRecorder::instance().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const i32 main_tid = events[0].tid;
+  TraceRecorder::instance().clear();
+
+  set_num_threads(4);
+  for (int round = 0; round < 3; ++round) {
+    parallel_for(0, 4096, [](i64) { ScopedSpan span("work", "test"); });
+  }
+  set_num_threads(0);
+  {
+    ScopedSpan span("main_span", "test");
+  }
+  events = TraceRecorder::instance().snapshot();
+  std::vector<i32> tids;
+  i32 main_tid_after = -1;
+  for (const TraceEvent& e : events) {
+    tids.push_back(e.tid);
+    if (std::string(e.name) == "main_span") main_tid_after = e.tid;
+  }
+  EXPECT_EQ(main_tid_after, main_tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  // Dense small ids: at most main + 4 pool workers ever record, and ids
+  // are assigned from a small dense range, not regenerated per round.
+  EXPECT_LE(tids.size(), 5u);
+  for (const i32 tid : tids) {
+    EXPECT_GE(tid, 0);
+    EXPECT_LT(tid, 8);
+  }
+}
+
+TEST(Trace, DisabledPathRecordsNothingAndAllocatesNothing) {
+  TraceScope scope(/*enabled=*/false);
+  const i64 before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    ScopedSpan span("hot", "test");
+    span.arg("x", 1.0);
+    KernelLaunch launch("hot_kernel");
+  }
+  const i64 after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0) << "disabled spans must not allocate";
+  EXPECT_EQ(TraceRecorder::instance().event_count(), 0);
+}
+
+TEST(Trace, KernelLaunchBridgesCountsToSpans) {
+  // Counting works regardless of tracing; kernel spans appear only when
+  // both tracing and the kernel-span gate are on.
+  {
+    TraceScope scope(/*enabled=*/true, /*kernel_spans=*/false);
+    KernelCountScope counts;
+    { KernelLaunch launch("bridge_kernel"); }
+    EXPECT_EQ(counts.count(), 1);
+    EXPECT_EQ(TraceRecorder::instance().event_count(), 0);
+  }
+  {
+    TraceScope scope(/*enabled=*/true, /*kernel_spans=*/true);
+    KernelCountScope counts;
+    { KernelLaunch launch("bridge_kernel"); }
+    EXPECT_EQ(counts.count(), 1);
+    auto events = TraceRecorder::instance().snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].name, "bridge_kernel");
+    EXPECT_STREQ(events[0].cat, "kernel");
+    EXPECT_GE(events[0].dur_ns, 0);
+  }
+}
+
+TEST(Trace, SpanSecondsByNameSumsCompleteSpans) {
+  TraceScope scope(/*enabled=*/true);
+  for (int i = 0; i < 3; ++i) {
+    ScopedSpan span("phase_a", "test");
+  }
+  TraceRecorder::instance().instant("not_a_span", "test");
+  auto by_name = TraceRecorder::instance().span_seconds_by_name();
+  ASSERT_TRUE(by_name.count("phase_a"));
+  EXPECT_GE(by_name["phase_a"], 0.0);
+  EXPECT_FALSE(by_name.count("not_a_span"));
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CountersAndSumsAreExactAtWidth4) {
+  auto& registry = MetricsRegistry::instance();
+  auto& counter = registry.counter("test.exact_counter");
+  auto& histogram = registry.histogram("test.exact_histogram");
+  counter.reset();
+  histogram.reset();
+
+  set_num_threads(4);
+  constexpr i64 kN = 20000;
+  constexpr f64 kSample = 0.125;  // identical increments => exact CAS sum
+  parallel_for(0, kN, [&](i64) {
+    counter.inc();
+    histogram.record(kSample);
+  });
+  set_num_threads(0);
+
+  EXPECT_EQ(counter.value(), kN);
+  EXPECT_EQ(histogram.count(), kN);
+  EXPECT_DOUBLE_EQ(histogram.sum(), static_cast<f64>(kN) * kSample);
+  EXPECT_DOUBLE_EQ(histogram.min(), kSample);
+  EXPECT_DOUBLE_EQ(histogram.max(), kSample);
+  // All identical samples land in exactly one bucket.
+  i64 occupied = 0, total = 0;
+  for (int i = 0; i < obs::Histogram::kBuckets; ++i) {
+    if (histogram.bucket_count(i) > 0) ++occupied;
+    total += histogram.bucket_count(i);
+  }
+  EXPECT_EQ(occupied, 1);
+  EXPECT_EQ(total, kN);
+  counter.reset();
+  histogram.reset();
+}
+
+TEST(Metrics, HistogramBucketsArePowerOfTwoInclusive) {
+  obs::Histogram h;
+  // An exact power of two is the *inclusive* upper bound of its bucket.
+  h.record(0.03125);  // 2^-5
+  int hit = -1;
+  for (int i = 0; i < obs::Histogram::kBuckets; ++i) {
+    if (h.bucket_count(i) > 0) hit = i;
+  }
+  ASSERT_GE(hit, 0);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_upper_bound(hit), 0.03125);
+
+  // Degenerate samples: non-positive and NaN underflow, huge overflows.
+  h.reset();
+  h.record(0.0);
+  h.record(-1.0);
+  h.record(std::numeric_limits<f64>::quiet_NaN());
+  EXPECT_EQ(h.bucket_count(0), 3);
+  h.record(1e9);
+  EXPECT_EQ(h.bucket_count(obs::Histogram::kBuckets - 1), 1);
+  EXPECT_EQ(h.count(), 4);
+}
+
+TEST(Metrics, RegistryJsonIsWellFormed) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("test.json_counter").inc(3);
+  registry.gauge("test.json_gauge").set(2.5);
+  registry.histogram("test.json_histogram").record(0.01);
+  const std::string json = registry.json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"test.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_histogram\""), std::string::npos);
+}
+
+TEST(Metrics, StableReferencesAcrossLookups) {
+  auto& registry = MetricsRegistry::instance();
+  auto& a = registry.counter("test.stable");
+  auto& b = registry.counter("test.stable");
+  EXPECT_EQ(&a, &b);
+}
+
+// ---------------------------------------------------------------------------
+// Trainer observer hooks
+// ---------------------------------------------------------------------------
+
+deepmd::ModelConfig tiny_model() {
+  deepmd::ModelConfig cfg;
+  cfg.rcut = 5.0;
+  cfg.rcut_smth = 2.5;
+  cfg.embed_width = 8;
+  cfg.axis_neurons = 4;
+  cfg.fitting_width = 16;
+  return cfg;
+}
+
+TEST(Observer, LcurveStreamMatchesPostHocWriteAndJsonlIsValid) {
+  data::DatasetConfig dcfg;
+  dcfg.train_per_temperature = 4;
+  dcfg.test_per_temperature = 1;
+  const data::SystemSpec& spec = data::get_system("Cu");
+  data::Dataset dataset = data::build_dataset(spec, dcfg);
+  deepmd::DeepmdModel model(tiny_model(), spec.num_types());
+  model.fit_stats(dataset.train);
+  auto train_envs = train::prepare_all(model, dataset.train);
+  auto test_envs = train::prepare_all(model, dataset.test);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string live_path = dir + "/lcurve_live.csv";
+  const std::string replay_path = dir + "/lcurve_replay.csv";
+  const std::string jsonl_path = dir + "/run.jsonl";
+
+  train::TrainOptions opts;
+  opts.batch_size = 2;
+  opts.max_epochs = 2;
+  opts.eval_max_samples = 4;
+  train::LcurveObserver lcurve(live_path);
+  train::JsonlMetricsObserver jsonl(jsonl_path);
+  opts.observers = {&lcurve, &jsonl};
+
+  optim::KalmanConfig kcfg;
+  train::KalmanTrainer trainer(model, kcfg, opts);
+  train::TrainResult result =
+      trainer.train(train_envs, std::span<const train::EnvPtr>(test_envs));
+  ASSERT_EQ(result.history.size(), 2u);
+
+  // The streamed lcurve and a post-hoc write_lcurve of the same history
+  // must be byte-identical (write_lcurve replays through the observer).
+  train::write_lcurve(result, replay_path);
+  EXPECT_EQ(read_file(live_path), read_file(replay_path));
+
+  // Every JSONL line is one standalone valid JSON object; the run emits
+  // one "step" line per optimizer step and one "eval" line per epoch.
+  std::ifstream in(jsonl_path);
+  std::string line;
+  i64 steps = 0, evals = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(JsonValidator(line).valid()) << line;
+    if (line.find("\"event\":\"step\"") != std::string::npos) ++steps;
+    if (line.find("\"event\":\"eval\"") != std::string::npos) ++evals;
+  }
+  EXPECT_EQ(steps, result.steps);
+  EXPECT_EQ(evals, static_cast<i64>(result.history.size()));
+}
+
+TEST(Observer, TraceCoversTrainingPhases) {
+  // A traced training run must attribute every Figure 7(c) phase plus the
+  // step/eval envelopes — the acceptance surface of DESIGN.md §11.
+  TraceScope scope(/*enabled=*/true);
+  data::DatasetConfig dcfg;
+  dcfg.train_per_temperature = 2;
+  dcfg.test_per_temperature = 1;
+  const data::SystemSpec& spec = data::get_system("Cu");
+  data::Dataset dataset = data::build_dataset(spec, dcfg);
+  deepmd::DeepmdModel model(tiny_model(), spec.num_types());
+  model.fit_stats(dataset.train);
+  auto train_envs = train::prepare_all(model, dataset.train);
+  auto test_envs = train::prepare_all(model, dataset.test);
+
+  train::TrainOptions opts;
+  opts.batch_size = 2;
+  opts.max_epochs = 1;
+  opts.eval_max_samples = 2;
+  optim::KalmanConfig kcfg;
+  train::KalmanTrainer trainer(model, kcfg, opts);
+  trainer.train(train_envs, std::span<const train::EnvPtr>(test_envs));
+
+  auto by_name = TraceRecorder::instance().span_seconds_by_name();
+  for (const char* phase :
+       {"step", "eval", "forward", "gradient", "kf_update", "kalman.update",
+        "deepmd.predict"}) {
+    EXPECT_TRUE(by_name.count(phase)) << "missing span: " << phase;
+  }
+  const std::string json = TraceRecorder::instance().chrome_trace_json();
+  EXPECT_TRUE(JsonValidator(json).valid());
+}
+
+}  // namespace
+}  // namespace fekf
