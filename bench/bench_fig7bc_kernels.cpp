@@ -7,17 +7,28 @@
 //   opt1      hand-written (batched) descriptor-derivative kernels (Fig. 6)
 //   opt2      + fused linear / tanh-backward kernels (torch.compile analog)
 //   opt3      + custom P-update kernel and Pg reuse in the optimizer
+//   fused     + whole-layer linear+tanh, whole-descriptor desc_a/desc_d and
+//             whole-step EKF composite launches (DESIGN.md §12)
 //
 // For each configuration the harness reports (b) the number of primitive-
 // kernel launches for one ENERGY update and one FORCE update (the paper's
 // two bar groups: 397->174 and 846->281 on the A100), and (c) the
-// iteration time split into forward / gradient / KF-update phases.
+// iteration time split into forward / gradient / KF-update phases, plus the
+// arena (Workspace) allocator counters for the measured iterations.
+//
+// The harness doubles as the CI launch/allocation budget gate: it FAILS
+// (FEKF_CHECK) if fusion stops halving the per-step launch count or the
+// arena leaves steady state (slab growth or retirement during measured
+// iterations), and `--json FILE` emits the per-config numbers that
+// ci/check_budgets.py compares against ci/budgets.json.
 #include <algorithm>
+#include <cstdio>
 
 #include "bench_common.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/kernel_counter.hpp"
+#include "tensor/workspace.hpp"
 
 using namespace fekf;
 using namespace fekf::bench;
@@ -28,6 +39,7 @@ struct Config {
   const char* name;
   deepmd::FusionLevel fusion;
   bool opt3;
+  bool fused_step;
 };
 
 struct Sample {
@@ -36,7 +48,15 @@ struct Sample {
   f64 forward_s = 0.0, gradient_s = 0.0, optimizer_s = 0.0;
   // Same split re-derived from trace spans (cross-check, seconds/iter).
   f64 span_forward_s = 0.0, span_gradient_s = 0.0, span_optimizer_s = 0.0;
+  // Arena counters over the measured iterations (zeros when FEKF_ARENA=0).
+  i64 arena_peak_scope_bytes = 0;
+  i64 arena_allocs_per_iter = 0;
+  i64 arena_retired_slabs = 0;
+  i64 arena_reserved_bytes = 0;
+  i64 arena_reserved_growth = 0;
   std::vector<std::pair<std::string, i64>> top_kernels;
+
+  i64 step_kernels() const { return energy_kernels + 4 * force_kernels; }
 };
 
 f64 span_delta(const std::map<std::string, f64>& before,
@@ -71,14 +91,16 @@ int main(int argc, char** argv) {
   add_common_flags(cli);
   cli.flag("system", "Cu", "catalog system")
       .flag("batch", "8", "FEKF batch size (paper: 64)")
-      .flag("iters", "3", "measured iterations per configuration");
+      .flag("iters", "3", "measured iterations per configuration")
+      .flag("json", "", "also write a machine-readable summary to this file");
   if (!cli.parse(argc, argv)) return 0;
 
   const Config configs[] = {
-      {"baseline", deepmd::FusionLevel::kBaseline, false},
-      {"opt1", deepmd::FusionLevel::kOpt1, false},
-      {"opt2", deepmd::FusionLevel::kOpt2, false},
-      {"opt3", deepmd::FusionLevel::kOpt2, true},
+      {"baseline", deepmd::FusionLevel::kBaseline, false, false},
+      {"opt1", deepmd::FusionLevel::kOpt1, false, false},
+      {"opt2", deepmd::FusionLevel::kOpt2, false, false},
+      {"opt3", deepmd::FusionLevel::kOpt2, true, false},
+      {"fused", deepmd::FusionLevel::kFused, true, true},
   };
   const i64 batch = cli.get_int("batch");
   const i64 iters = cli.get_int("iters");
@@ -94,6 +116,7 @@ int main(int argc, char** argv) {
     kcfg.blocksize = cli.get_int("blocksize");
     kcfg.fused_p_update = config.opt3;
     kcfg.cache_pg = config.opt3;
+    kcfg.fused_step = config.fused_step;
     train::KalmanTrainer trainer(*f.model, kcfg, opts);
 
     std::span<const train::EnvPtr> all(f.train_envs);
@@ -144,6 +167,8 @@ int main(int argc, char** argv) {
     const auto spans_before = recorder.span_seconds_by_name();
     KernelCounter::reset();
     const auto launches_before = KernelCounter::breakdown();
+    Workspace::reset_stats();
+    const WorkspaceStats arena_before = Workspace::stats();
 
     Sample sample;
     for (i64 it = 0; it < iters; ++it) {
@@ -161,6 +186,30 @@ int main(int argc, char** argv) {
     }
     const auto spans_after = recorder.span_seconds_by_name();
     recorder.set_enabled(trace_was_enabled);
+    const WorkspaceStats arena_after = Workspace::stats();
+    sample.arena_peak_scope_bytes = arena_after.peak_scope_bytes;
+    sample.arena_allocs_per_iter =
+        (arena_after.allocs - arena_before.allocs) / iters;
+    sample.arena_retired_slabs =
+        arena_after.retired_slabs - arena_before.retired_slabs;
+    sample.arena_reserved_bytes = arena_after.reserved_bytes;
+    sample.arena_reserved_growth =
+        arena_after.reserved_bytes - arena_before.reserved_bytes;
+    // Allocation budget: after the warm-up iterations the arena must be in
+    // steady state — the same slabs serve every measured step (no growth)
+    // and no tensor escapes its step scope (no retirement).
+    if (Workspace::enabled()) {
+      FEKF_CHECK(sample.arena_retired_slabs == 0,
+                 std::string("arena retired ") +
+                     std::to_string(sample.arena_retired_slabs) +
+                     " slab(s) during measured iterations (config " +
+                     config.name + "): a tensor escaped its step scope");
+      FEKF_CHECK(sample.arena_reserved_growth == 0,
+                 std::string("arena grew by ") +
+                     std::to_string(sample.arena_reserved_growth) +
+                     " bytes during measured iterations (config " +
+                     config.name + "): warm-up did not reach steady state");
+    }
     sample.energy_kernels /= iters;
     sample.force_kernels /= iters;
     sample.forward_s = trainer.forward_timer().total_seconds() / iters;
@@ -205,17 +254,36 @@ int main(int argc, char** argv) {
     const Sample& s = samples[c];
     tb.add_row({configs[c].name, std::to_string(s.energy_kernels),
                 std::to_string(s.force_kernels),
-                std::to_string(s.energy_kernels + 4 * s.force_kernels)});
+                std::to_string(s.step_kernels())});
   }
   tb.print();
-  const f64 kernel_reduction =
-      1.0 - static_cast<f64>(samples.back().energy_kernels +
-                             4 * samples.back().force_kernels) /
-                static_cast<f64>(samples.front().energy_kernels +
-                                 4 * samples.front().force_kernels);
+  const Sample& baseline = samples.front();
+  const Sample& opt3 = samples[3];
+  const Sample& fused = samples.back();
   std::printf("kernel reduction baseline -> opt3: %.0f%% (paper: 64%%, "
               "3781 -> 1298)\n",
-              100.0 * kernel_reduction);
+              100.0 * (1.0 - static_cast<f64>(opt3.step_kernels()) /
+                                 static_cast<f64>(baseline.step_kernels())));
+  std::printf("kernel reduction baseline -> fused: %.0f%% (%lld -> %lld "
+              "launches per step)\n",
+              100.0 * (1.0 - static_cast<f64>(fused.step_kernels()) /
+                                 static_cast<f64>(baseline.step_kernels())),
+              static_cast<long long>(baseline.step_kernels()),
+              static_cast<long long>(fused.step_kernels()));
+
+  // Launch budget (CI gate): the fused configuration must keep at least a
+  // 2x launch reduction over the framework-style baseline AND strictly
+  // improve on opt3 — a regression in either fails the bench loudly.
+  FEKF_CHECK(2 * fused.step_kernels() <= baseline.step_kernels(),
+             "launch budget violated: fused step issues " +
+                 std::to_string(fused.step_kernels()) +
+                 " launches, more than half of baseline's " +
+                 std::to_string(baseline.step_kernels()));
+  FEKF_CHECK(fused.step_kernels() < opt3.step_kernels(),
+             "launch budget violated: fused step (" +
+                 std::to_string(fused.step_kernels()) +
+                 " launches) does not improve on opt3 (" +
+                 std::to_string(opt3.step_kernels()) + ")");
 
   std::printf("\nTop launch contributors per config (launches per measured "
               "iteration, 1E + 1F):\n");
@@ -259,8 +327,66 @@ int main(int argc, char** argv) {
                 fmt("%.3f", s.span_optimizer_s)});
   }
   ts.print();
+
+  if (Workspace::enabled()) {
+    std::printf("\nArena (workspace) allocator, measured iterations "
+                "(steady state asserted: no growth, no retirement):\n");
+    Table ta({"config", "peak scope KiB", "allocs/iter", "reserved KiB",
+              "retired slabs"});
+    for (std::size_t c = 0; c < samples.size(); ++c) {
+      const Sample& s = samples[c];
+      ta.add_row({configs[c].name,
+                  std::to_string(s.arena_peak_scope_bytes / 1024),
+                  std::to_string(s.arena_allocs_per_iter),
+                  std::to_string(s.arena_reserved_bytes / 1024),
+                  std::to_string(s.arena_retired_slabs)});
+    }
+    ta.print();
+  } else {
+    std::printf("\nArena disabled (FEKF_ARENA=0): temporaries on the heap, "
+                "allocation budgets not applicable.\n");
+  }
   std::printf("\nPaper shape: launches drop sharply at opt1 (fused "
               "descriptor derivatives) and the iteration accelerates "
               "step-by-step (paper total: 3.48x on the A100).\n");
+
+  const std::string json_path = cli.get("json");
+  std::string json = "{\n  \"bench\": \"fig7bc_kernels\",\n";
+  json += "  \"system\": \"" + cli.get("system") + "\",\n";
+  json += "  \"batch\": " + std::to_string(batch) + ",\n";
+  json += "  \"iters\": " + std::to_string(iters) + ",\n";
+  json += "  \"threads\": " + std::to_string(num_threads()) + ",\n";
+  json += "  \"arena_enabled\": ";
+  json += Workspace::enabled() ? "true" : "false";
+  json += ",\n  \"configs\": [\n";
+  for (std::size_t c = 0; c < samples.size(); ++c) {
+    const Sample& s = samples[c];
+    json += "    {\"name\": \"" + std::string(configs[c].name) + "\", ";
+    json += "\"energy_kernels\": " + std::to_string(s.energy_kernels) + ", ";
+    json += "\"force_kernels\": " + std::to_string(s.force_kernels) + ", ";
+    json += "\"step_kernels\": " + std::to_string(s.step_kernels()) + ", ";
+    json += "\"forward_s\": " + fmt("%.6f", s.forward_s) + ", ";
+    json += "\"gradient_s\": " + fmt("%.6f", s.gradient_s) + ", ";
+    json += "\"optimizer_s\": " + fmt("%.6f", s.optimizer_s) + ", ";
+    json += "\"total_s\": " +
+            fmt("%.6f", s.forward_s + s.gradient_s + s.optimizer_s) + ", ";
+    json += "\"arena_peak_scope_bytes\": " +
+            std::to_string(s.arena_peak_scope_bytes) + ", ";
+    json += "\"arena_allocs_per_iter\": " +
+            std::to_string(s.arena_allocs_per_iter) + ", ";
+    json += "\"arena_reserved_bytes\": " +
+            std::to_string(s.arena_reserved_bytes) + ", ";
+    json += "\"arena_retired_slabs\": " +
+            std::to_string(s.arena_retired_slabs) + "}";
+    json += c + 1 < samples.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    FEKF_CHECK(f != nullptr, "cannot open --json file " + json_path);
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nJSON summary written to %s\n", json_path.c_str());
+  }
   return 0;
 }

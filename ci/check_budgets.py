@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Perf/launch/allocation budget gate over the bench JSON artifacts.
+
+Consumes the machine-readable documents run_benches.sh (or ci/run_ci.sh)
+writes into bench_artifacts/ — `fig7bc_kernels.json` and `fusion.json`,
+located via `BENCH_summary.json` or passed directly — and fails (exit 1)
+when any metric regresses beyond the thresholds in ci/budgets.json:
+
+  * per-step kernel launches, per configuration (`max_step_kernels`), plus
+    the structural requirement that the fused configuration keeps at least
+    `min_fused_reduction` x fewer launches than the baseline
+  * arena bytes per step (`max_arena_peak_scope_bytes`), skipped when the
+    artifact records the arena as disabled (FEKF_ARENA=0)
+  * step wall time (`max_total_s`), sized with generous slack because CI
+    hosts vary; launch/byte budgets are the tight ones (deterministic for a
+    given bench scale)
+  * bench_fusion launch budgets per fusion site (`max_fused_launches`)
+
+Re-baselining (after an INTENTIONAL change to kernel granularity, bench
+scale, or model defaults): run the benches, eyeball the new numbers, then
+  python3 ci/check_budgets.py --rebaseline
+which rewrites ci/budgets.json from the current artifacts with the default
+slack factors (launches +5%, arena bytes +25%, wall time x4). Commit the
+regenerated file together with the change that moved the numbers and say
+why in the commit message — the diff IS the perf review.
+
+--self-test proves the gate can fail: it first validates the real
+artifacts, then re-runs the checks on a copy with a deliberately injected
+launch-count regression (fused step_kernels x3) and exits 0 only if that
+regression is caught.
+"""
+
+import argparse
+import copy
+import json
+import math
+import pathlib
+import sys
+
+DEFAULT_SUMMARY = "bench_artifacts/BENCH_summary.json"
+DEFAULT_BUDGETS = pathlib.Path(__file__).parent / "budgets.json"
+
+LAUNCH_SLACK = 1.05   # launches are deterministic; tolerate tiny drift
+ARENA_SLACK = 1.25    # slab rounding makes byte counts slightly lumpy
+TIME_SLACK = 4.0      # CI hosts vary widely; wall time is the loose gate
+
+
+class Violation(Exception):
+    pass
+
+
+def load_json(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_fig7bc(doc, budgets, failures):
+    per_config = {c["name"]: c for c in doc["configs"]}
+    for name, limits in budgets.get("configs", {}).items():
+        actual = per_config.get(name)
+        if actual is None:
+            failures.append(f"fig7bc: configuration '{name}' missing from "
+                            f"artifact (bench and budgets out of sync)")
+            continue
+        gate(failures, f"fig7bc[{name}].step_kernels",
+             actual["step_kernels"], limits.get("max_step_kernels"))
+        gate(failures, f"fig7bc[{name}].total_s",
+             actual["total_s"], limits.get("max_total_s"))
+        if doc.get("arena_enabled"):
+            gate(failures, f"fig7bc[{name}].arena_peak_scope_bytes",
+                 actual["arena_peak_scope_bytes"],
+                 limits.get("max_arena_peak_scope_bytes"))
+            gate(failures, f"fig7bc[{name}].arena_retired_slabs",
+                 actual["arena_retired_slabs"], 0)
+    min_reduction = budgets.get("min_fused_reduction")
+    if min_reduction and "baseline" in per_config and "fused" in per_config:
+        ratio = (per_config["baseline"]["step_kernels"]
+                 / max(1, per_config["fused"]["step_kernels"]))
+        if ratio < min_reduction:
+            failures.append(
+                f"fig7bc: fused launch reduction {ratio:.2f}x is below the "
+                f"required {min_reduction}x (baseline "
+                f"{per_config['baseline']['step_kernels']} vs fused "
+                f"{per_config['fused']['step_kernels']})")
+
+
+def check_fusion(doc, budgets, failures):
+    per_cmp = {c["name"]: c for c in doc["comparisons"]}
+    for name, limits in budgets.get("comparisons", {}).items():
+        actual = per_cmp.get(name)
+        if actual is None:
+            # arena_vs_heap is absent when FEKF_ARENA=0; that is not a
+            # regression, the arena legs are simply not measurable.
+            if name == "arena_vs_heap" and not doc.get("arena_enabled"):
+                continue
+            failures.append(f"fusion: comparison '{name}' missing from "
+                            f"artifact (bench and budgets out of sync)")
+            continue
+        gate(failures, f"fusion[{name}].fused_launches",
+             actual["fused_launches"], limits.get("max_fused_launches"))
+        # arena_vs_heap times the allocator under identical kernels, so its
+        # two legs launch the same count by design.
+        if (name != "arena_vs_heap"
+                and actual["fused_launches"] >= actual["unfused_launches"]):
+            failures.append(
+                f"fusion[{name}]: fused path launches "
+                f"{actual['fused_launches']} >= unfused "
+                f"{actual['unfused_launches']} — fusion regressed away")
+
+
+def gate(failures, what, actual, limit):
+    if limit is None:
+        return
+    status = "ok" if actual <= limit else "FAIL"
+    print(f"  {what:<48} {float(actual):>14.6g}  "
+          f"budget {float(limit):>14.6g}  {status}")
+    if actual > limit:
+        failures.append(f"{what}: {actual} exceeds budget {limit}")
+
+
+def run_checks(fig7bc, fusion, budgets):
+    failures = []
+    print("fig7bc_kernels budgets:")
+    check_fig7bc(fig7bc, budgets.get("fig7bc_kernels", {}), failures)
+    print("fusion budgets:")
+    check_fusion(fusion, budgets.get("fusion", {}), failures)
+    return failures
+
+
+def rebaseline(fig7bc, fusion, path):
+    budgets = {
+        "_comment": [
+            "Perf/launch/allocation budgets for ci/check_budgets.py.",
+            "Regenerated by --rebaseline from the current bench artifacts;",
+            "see that script's docstring for when re-baselining is",
+            "legitimate and how to justify it in the commit.",
+        ],
+        "fig7bc_kernels": {
+            "min_fused_reduction": 2.0,
+            "configs": {
+                c["name"]: {
+                    "max_step_kernels":
+                        math.ceil(c["step_kernels"] * LAUNCH_SLACK),
+                    "max_total_s": round(c["total_s"] * TIME_SLACK, 3),
+                    "max_arena_peak_scope_bytes":
+                        math.ceil(c["arena_peak_scope_bytes"] * ARENA_SLACK),
+                } for c in fig7bc["configs"]
+            },
+        },
+        "fusion": {
+            "comparisons": {
+                c["name"]: {
+                    "max_fused_launches":
+                        math.ceil(c["fused_launches"] * LAUNCH_SLACK),
+                } for c in fusion["comparisons"]
+            },
+        },
+    }
+    with open(path, "w") as f:
+        json.dump(budgets, f, indent=2)
+        f.write("\n")
+    print(f"budgets re-baselined into {path}")
+
+
+def self_test(fig7bc, fusion, budgets):
+    clean = run_checks(fig7bc, fusion, budgets)
+    if clean:
+        print("self-test: artifacts do not pass the current budgets, cannot "
+              "run the injection test:", file=sys.stderr)
+        for f in clean:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    # Inject a launch-count regression: the fused configuration suddenly
+    # issues 3x the launches (e.g. someone broke a composite kernel back
+    # into primitives). The gate MUST catch this.
+    broken = copy.deepcopy(fig7bc)
+    for c in broken["configs"]:
+        if c["name"] == "fused":
+            c["step_kernels"] *= 3
+    print("\nself-test: injected 3x fused launch-count regression, "
+          "re-checking (failures below are EXPECTED):")
+    caught = run_checks(broken, fusion, budgets)
+    if not caught:
+        print("self-test: FAILED — the injected regression was not caught",
+              file=sys.stderr)
+        return 1
+    print(f"\nself-test: ok — injected regression caught "
+          f"({len(caught)} violation(s), e.g. '{caught[0]}')")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--summary", default=DEFAULT_SUMMARY,
+                        help="BENCH_summary.json from run_benches.sh")
+    parser.add_argument("--fig7bc", default=None,
+                        help="fig7bc_kernels.json (overrides --summary)")
+    parser.add_argument("--fusion", default=None,
+                        help="fusion.json (overrides --summary)")
+    parser.add_argument("--budgets", default=str(DEFAULT_BUDGETS))
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="rewrite --budgets from the current artifacts")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate catches an injected "
+                             "launch-count regression")
+    args = parser.parse_args()
+
+    fig7bc_path, fusion_path = args.fig7bc, args.fusion
+    if fig7bc_path is None or fusion_path is None:
+        summary = load_json(args.summary)
+        arts = summary.get("artifacts", {})
+        fig7bc_path = fig7bc_path or arts["fig7bc_kernels"]
+        fusion_path = fusion_path or arts["fusion"]
+        if summary.get("failures", 0):
+            print(f"check_budgets: run_benches.sh recorded "
+                  f"{summary['failures']} harness failure(s)",
+                  file=sys.stderr)
+            return 1
+    fig7bc = load_json(fig7bc_path)
+    fusion = load_json(fusion_path)
+
+    if args.rebaseline:
+        rebaseline(fig7bc, fusion, args.budgets)
+        return 0
+    budgets = load_json(args.budgets)
+    if args.self_test:
+        return self_test(fig7bc, fusion, budgets)
+    failures = run_checks(fig7bc, fusion, budgets)
+    if failures:
+        print(f"check_budgets: {len(failures)} violation(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("check_budgets: all budgets satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+#!/bin/bash
+# Local mirror of .github/workflows/ci.yml — the workflow invokes THIS
+# script (one matrix leg per job), so what CI runs and what `ci/run_ci.sh`
+# runs at a developer's desk are the same thing by construction.
+#
+# Pipeline per leg:
+#   1. format gate            ci/check_format.py (.clang-format)
+#   2. configure + build      -DFEKF_WERROR=ON (zero-warning budget),
+#                             ccache when available
+#   3. full ctest             includes the *_mt4, *_traced, *_fault and
+#                             test_fusion_noarena environment re-runs, at
+#                             every width in FEKF_CI_WIDTHS
+#   4. perf/launch budgets    (release legs only) bench_fig7bc_kernels +
+#                             bench_fusion emit JSON, ci/check_budgets.py
+#                             gates it against ci/budgets.json, and the
+#                             gate's --self-test proves it can fail
+#
+# Matrix knobs (the workflow sets these per job; locally the defaults run
+# the whole matrix serially):
+#   FEKF_CI_BUILD_TYPES  "release sanitize" — sanitize is Debug with
+#                        FEKF_SANITIZE=address,undefined
+#   FEKF_CI_WIDTHS       "1 4" — FEKF_NUM_THREADS values for ctest
+#   FEKF_CI_JOBS         build/ctest parallelism (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${FEKF_CI_JOBS:-$(nproc)}"
+BUILD_TYPES="${FEKF_CI_BUILD_TYPES:-release sanitize}"
+WIDTHS="${FEKF_CI_WIDTHS:-1 4}"
+ARTIFACTS="${FEKF_CI_ARTIFACTS:-ci_artifacts}"
+mkdir -p "$ARTIFACTS"
+
+echo "==== [1/4] format gate"
+python3 ci/check_format.py
+
+LAUNCHER=""
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER="-DCMAKE_CXX_COMPILER_LAUNCHER=ccache"
+  ccache --zero-stats >/dev/null 2>&1 || true
+fi
+
+for ty in $BUILD_TYPES; do
+  case "$ty" in
+    release)
+      dir=build-ci-release
+      cfg="-DCMAKE_BUILD_TYPE=Release"
+      ;;
+    sanitize)
+      dir=build-ci-sanitize
+      cfg="-DCMAKE_BUILD_TYPE=Debug -DFEKF_SANITIZE=address,undefined"
+      ;;
+    *)
+      echo "unknown build type '$ty' (expected release|sanitize)" >&2
+      exit 2
+      ;;
+  esac
+  echo "==== [2/4] configure + build ($ty, warnings are errors)"
+  # shellcheck disable=SC2086  # cfg/LAUNCHER are intentional word lists
+  cmake -S . -B "$dir" $cfg -DFEKF_WERROR=ON $LAUNCHER
+  cmake --build "$dir" -j"$JOBS"
+
+  for width in $WIDTHS; do
+    echo "==== [3/4] ctest ($ty, FEKF_NUM_THREADS=$width)"
+    FEKF_NUM_THREADS="$width" \
+      ctest --test-dir "$dir" --output-on-failure -j"$JOBS"
+  done
+
+  if [ "$ty" = release ]; then
+    echo "==== [4/4] perf/launch/allocation budgets ($ty)"
+    "./$dir/bench/bench_fig7bc_kernels" \
+      --json "$ARTIFACTS/fig7bc_kernels.json"
+    "./$dir/bench/bench_fusion" --json "$ARTIFACTS/fusion.json"
+    python3 ci/check_budgets.py \
+      --fig7bc "$ARTIFACTS/fig7bc_kernels.json" \
+      --fusion "$ARTIFACTS/fusion.json"
+    python3 ci/check_budgets.py \
+      --fig7bc "$ARTIFACTS/fig7bc_kernels.json" \
+      --fusion "$ARTIFACTS/fusion.json" --self-test
+  else
+    echo "==== [4/4] budgets skipped for $ty (sanitizer timing is not "
+    echo "     representative; launch budgets are covered by the release leg)"
+  fi
+done
+
+if command -v ccache >/dev/null 2>&1; then
+  ccache --show-stats 2>/dev/null | head -5 || true
+fi
+echo "==== CI pipeline passed"

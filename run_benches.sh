@@ -3,16 +3,21 @@
 # Budgets are sized for a single CPU core (~30-40 min total); every harness
 # accepts flags to scale toward the paper's configuration (--help).
 #
-# Machine-readable artifacts land in bench_artifacts/: every run is recorded
-# in index.json together with the thread width it executed at, so scaling
-# results stay attributable to a configuration (README "Runtime
-# configuration").
-set -u
+# Fail-loudly contract: the script runs EVERY harness (so one regression
+# does not hide the others' artifacts) but exits non-zero if any failed,
+# with the failures counted in the summary. Machine-readable artifacts land
+# in bench_artifacts/: every run is recorded in index.json together with
+# the thread width it executed at, and BENCH_summary.json points
+# ci/check_budgets.py at the per-bench JSON documents (launch counts, phase
+# seconds, arena bytes) it gates against ci/budgets.json.
+set -euo pipefail
 ARTIFACTS=bench_artifacts
 mkdir -p "$ARTIFACTS"
 : "${FEKF_NUM_THREADS:=$(nproc)}"
 export FEKF_NUM_THREADS
 INDEX="$ARTIFACTS/index.json"
+SUMMARY="$ARTIFACTS/BENCH_summary.json"
+FAILURES=0
 echo "{" > "$INDEX"
 echo "  \"fekf_num_threads\": $FEKF_NUM_THREADS," >> "$INDEX"
 echo "  \"hardware_threads\": $(nproc)," >> "$INDEX"
@@ -22,8 +27,12 @@ run() {
   echo "===================================================================="
   echo "== $* (FEKF_NUM_THREADS=$FEKF_NUM_THREADS)"
   echo "===================================================================="
-  "$@" 2>&1
-  local status=$?
+  local status=0
+  "$@" 2>&1 || status=$?
+  if [ "$status" -ne 0 ]; then
+    FAILURES=$((FAILURES + 1))
+    echo "!! FAILED (exit $status): $*" >&2
+  fi
   [ "$FIRST" = 1 ] && FIRST=0 || echo "    ," >> "$INDEX"
   echo "    {\"cmd\": \"$*\", \"threads\": $FEKF_NUM_THREADS, \"exit\": $status}" >> "$INDEX"
   echo
@@ -32,10 +41,13 @@ run ./build/bench/bench_comm_memory
 # The fig7bc harness runs with the observability layer armed: the Chrome
 # trace (load in Perfetto / chrome://tracing) and the metrics dump land
 # next to index.json, attributing the measured iterations span by span.
+# Its JSON summary carries the launch/time/arena numbers the CI budget
+# checker gates on.
 FEKF_TRACE="$ARTIFACTS/fig7bc_trace.json" \
   FEKF_TRACE_KERNELS=1 \
   FEKF_METRICS="$ARTIFACTS/fig7bc_metrics.json" \
-  run ./build/bench/bench_fig7bc_kernels
+  run ./build/bench/bench_fig7bc_kernels --json "$ARTIFACTS/fig7bc_kernels.json"
+run ./build/bench/bench_fusion --json "$ARTIFACTS/fusion.json"
 run ./build/bench/bench_kernels_micro --benchmark_min_time=0.1
 run ./build/bench/bench_fig4_qlr
 run ./build/bench/bench_table5_distributed --train 40 --rlekf-epochs 3 --fekf-epochs 8
@@ -53,4 +65,23 @@ FEKF_TRACE="$ARTIFACTS/resilience_trace.json" \
   --ckpt "$ARTIFACTS/resilience.ckpt" --json "$ARTIFACTS/resilience.json"
 echo "  ]" >> "$INDEX"
 echo "}" >> "$INDEX"
+cat > "$SUMMARY" <<EOF
+{
+  "fekf_num_threads": $FEKF_NUM_THREADS,
+  "hardware_threads": $(nproc),
+  "failures": $FAILURES,
+  "artifacts": {
+    "index": "$INDEX",
+    "fig7bc_kernels": "$ARTIFACTS/fig7bc_kernels.json",
+    "fusion": "$ARTIFACTS/fusion.json",
+    "scaling": "$ARTIFACTS/scaling.json",
+    "resilience": "$ARTIFACTS/resilience.json"
+  }
+}
+EOF
 echo "artifact index: $INDEX"
+echo "budget-checker summary: $SUMMARY"
+if [ "$FAILURES" -ne 0 ]; then
+  echo "BENCH FAILURES: $FAILURES harness(es) exited non-zero" >&2
+  exit 1
+fi

@@ -1,0 +1,42 @@
+// Whole-descriptor fused ops (FusionLevel::kFused).
+//
+// The symmetry-preserving descriptor D_i = (G_i^T R_i / nm) (A_i^<)^T is
+// computed at kOpt1/kOpt2 as a chain of batched kernels (per-type bmm_tn,
+// add, scale, block_slice_rows, bmm_nt — T+4 launches for T neighbor
+// types). kFused collapses the chain into two composite kernels:
+//
+//   desc_a : A = (1/nm) Σ_t G_t^T R_t     — one launch over all atoms and
+//            types, accumulating per-type partial sums in the same order as
+//            the bmm_tn/add/scale chain (bit-identical values).
+//   desc_d : D_b = A_b (A_b^<)^T          — one launch; f64 accumulators
+//            matching bmm_nt.
+//
+// desc_d's backward is itself one fused kernel (desc_d_grad, computing
+// gA = gD·A^< + pad(gD^T·A) in a single pass), wrapped as a differentiable
+// op whose own backward composes bmm_* — so the force path (which
+// differentiates the backward graph) works to every order, exactly like
+// bmm.hpp. desc_a's backward composes bmm_nt/bmm_nn per type (the same
+// launches the kOpt1 backward issues), so the fusion win is concentrated
+// where the launch fragmentation lives: the forward chain and the gD→gA
+// contraction. DESIGN.md §12 carries the derivation and tolerance notes.
+#pragma once
+
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace fekf::deepmd {
+
+/// A = (1/nm) Σ_t G_t^T R_t over per-atom blocks; one launch. g_mats[t] is
+/// (natoms*sel[t]) x M, r_mats[t] is (natoms*sel[t]) x 4; the result is
+/// (natoms*M) x 4. Backward composes bmm ops (differentiable to any order).
+ag::Variable desc_a(const std::vector<ag::Variable>& g_mats,
+                    const std::vector<ag::Variable>& r_mats,
+                    const std::vector<i64>& sel, f32 inv_nm);
+
+/// D_b = A_b (A_b^<)^T per atom block (A_b is m x 4, A_b^< its first
+/// m_axis rows); one launch forward, ONE fused launch for the whole
+/// backward contraction (desc_d_grad), itself differentiable.
+ag::Variable desc_d(const ag::Variable& a, i64 m, i64 m_axis);
+
+}  // namespace fekf::deepmd

@@ -1,6 +1,7 @@
 #include "deepmd/model.hpp"
 
 #include "deepmd/bmm.hpp"
+#include "deepmd/fused_descriptor.hpp"
 #include "deepmd/jacobian_ops.hpp"
 #include "obs/trace.hpp"
 
@@ -56,6 +57,14 @@ Variable DeepmdModel::descriptor(const std::vector<Variable>& r_leaves,
   i64 nm_total = 0;
   for (const i64 s : sel_) nm_total += s;
   const f32 inv_nm = 1.0f / static_cast<f32>(nm_total);
+
+  if (config_.fusion >= FusionLevel::kFused) {
+    // Whole-descriptor fusion: one launch for A, one for D (plus one fused
+    // launch for the whole gD -> gA backward contraction).
+    Variable a = desc_a(g_mats, r_leaves, sel_, inv_nm);
+    Variable d_blocks = desc_d(a, m, m_axis);
+    return op::reshape(d_blocks, natoms, m * m_axis);
+  }
 
   if (config_.fusion >= FusionLevel::kOpt1) {
     // Fused path: batched kernels over all atoms (one launch each).

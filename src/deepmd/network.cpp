@@ -21,6 +21,10 @@ LayerParams make_layer(i64 fan_in, i64 fan_out, const std::string& name,
 
 ag::Variable dense(const ag::Variable& x, const LayerParams& layer,
                    bool activate, FusionLevel fusion) {
+  if (activate && fusion >= FusionLevel::kFused) {
+    // Whole layer in one launch forward / one launch backward.
+    return op::linear_tanh_fused(x, layer.weight, layer.bias);
+  }
   const bool fused = fusion >= FusionLevel::kOpt2;
   ag::Variable pre = fused ? op::linear_fused(x, layer.weight, layer.bias)
                            : op::linear(x, layer.weight, layer.bias);

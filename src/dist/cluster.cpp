@@ -40,7 +40,7 @@ struct ShardResult {
   f64 seconds = 0.0;
 };
 
-ShardResult run_shard(deepmd::DeepmdModel& model, optim::FlatParams& flat,
+ShardResult run_shard(deepmd::DeepmdModel& /*model*/, optim::FlatParams& flat,
                       std::span<const EnvPtr> shard,
                       const std::function<Measurement(std::span<const EnvPtr>)>&
                           measure) {

@@ -135,6 +135,10 @@ void KalmanOptimizer::update(std::span<const f64> g, f64 kscale,
       scratch_.size() < static_cast<std::size_t>(max_block_ * max_block_)) {
     scratch_.resize(static_cast<std::size_t>(max_block_ * max_block_));
   }
+  // Whole-step fusion needs the cached gain and the single-pass P kernel;
+  // the ablation toggles fall back to the legacy four-launch decomposition.
+  const bool fused_step =
+      config_.fused_step && config_.fused_p_update && config_.cache_pg;
   f64 update_max_diag = 0.0;
   for (std::size_t b = 0; b < blocks_.size(); ++b) {
     const i64 n = blocks_[b].size;
@@ -144,8 +148,13 @@ void KalmanOptimizer::update(std::span<const f64> g, f64 kscale,
     std::span<f64> pb(p_[b]);
     std::span<f64> q(pg_.data(), static_cast<std::size_t>(n));
 
-    kernels::symv(pb, gb, q, n);  // q = P g
-    const f64 gpg = kernels::dot(gb, q);
+    f64 gpg;
+    if (fused_step) {
+      gpg = kernels::ekf_gain_fused(pb, gb, q, n);  // q = P g, one launch
+    } else {
+      kernels::symv(pb, gb, q, n);  // q = P g
+      gpg = kernels::dot(gb, q);
+    }
     const f64 a = 1.0 / (lambda_ + gpg);
 
     // K = a q; the uncached ("framework") path recomputes P g for K the
@@ -157,17 +166,9 @@ void KalmanOptimizer::update(std::span<const f64> g, f64 kscale,
       k_vec = q2;
     }
 
-    // P <- (P - a q q^T) / lambda, symmetrized. Note (1/a) K K^T with
-    // K = a P g equals a (P g)(P g)^T, so the kernels take q and a.
-    if (config_.fused_p_update) {
-      kernels::p_update_fused(pb, k_vec, a, lambda_, n);
-    } else {
-      kernels::p_update_unfused(pb, k_vec, a, lambda_,
-                                std::span<f64>(scratch_), n);
-    }
-
-    // w_b += kscale * K = kscale * a * q, clamped to full Newton closure
-    // and clipped to the trust region.
+    // Step scale for w_b += kscale * K = kscale * a * q, clamped to full
+    // Newton closure and clipped to the trust region. Depends only on
+    // (q, gpg), so it is resolved before the P update either path takes.
     f64 step_scale = kscale * a;
     if (abe >= 0.0 && gpg > 1e-30) {
       step_scale = std::min(step_scale, abe / gpg);
@@ -180,28 +181,48 @@ void KalmanOptimizer::update(std::span<const f64> g, f64 kscale,
         step_scale *= cap / step_norm;
       }
     }
-    kernels::axpy(step_scale, k_vec,
-                  w.subspan(static_cast<std::size_t>(off),
-                            std::size_t(n)));
 
-    // Process-noise floor (see KalmanConfig::process_noise).
-    if (config_.process_noise > 0.0) {
-      for (i64 i = 0; i < n; ++i) {
-        pb[static_cast<std::size_t>(i * n + i)] += config_.process_noise;
-      }
-    }
-
-    // Covariance limiting (see KalmanConfig::p_max). The diagonal scan
-    // doubles as the sentinels' P-health probe, so non-finite entries must
-    // latch into max_diag explicitly (std::max would silently drop a NaN).
     f64 max_diag = 0.0;
-    for (i64 i = 0; i < n; ++i) {
-      const f64 d = pb[static_cast<std::size_t>(i * n + i)];
-      if (!std::isfinite(d)) {
-        max_diag = d;
-        break;
+    if (fused_step) {
+      // P update + process noise + weight step + NaN-latching health scan
+      // in one launch; bit-exact with the sequence below.
+      max_diag = kernels::ekf_apply_fused(
+          pb, k_vec, a, lambda_, step_scale,
+          w.subspan(static_cast<std::size_t>(off), std::size_t(n)),
+          config_.process_noise > 0.0 ? config_.process_noise : 0.0, n);
+    } else {
+      // P <- (P - a q q^T) / lambda, symmetrized. Note (1/a) K K^T with
+      // K = a P g equals a (P g)(P g)^T, so the kernels take q and a.
+      if (config_.fused_p_update) {
+        kernels::p_update_fused(pb, k_vec, a, lambda_, n);
+      } else {
+        kernels::p_update_unfused(pb, k_vec, a, lambda_,
+                                  std::span<f64>(scratch_), n);
       }
-      max_diag = std::max(max_diag, d);
+
+      kernels::axpy(step_scale, k_vec,
+                    w.subspan(static_cast<std::size_t>(off),
+                              std::size_t(n)));
+
+      // Process-noise floor (see KalmanConfig::process_noise).
+      if (config_.process_noise > 0.0) {
+        for (i64 i = 0; i < n; ++i) {
+          pb[static_cast<std::size_t>(i * n + i)] += config_.process_noise;
+        }
+      }
+
+      // Covariance limiting (see KalmanConfig::p_max). The diagonal scan
+      // doubles as the sentinels' P-health probe, so non-finite entries
+      // must latch into max_diag explicitly (std::max would silently drop
+      // a NaN).
+      for (i64 i = 0; i < n; ++i) {
+        const f64 d = pb[static_cast<std::size_t>(i * n + i)];
+        if (!std::isfinite(d)) {
+          max_diag = d;
+          break;
+        }
+        max_diag = std::max(max_diag, d);
+      }
     }
     if (!std::isfinite(max_diag)) {
       update_max_diag = max_diag;

@@ -31,6 +31,15 @@ struct KalmanConfig {
   bool fused_p_update = true;  ///< opt3: hand-written single-pass kernel
   bool cache_pg = true;        ///< opt3: reuse P g between a and K
 
+  /// Whole-step fusion (DESIGN.md §12): run each block's update as TWO
+  /// launches — ekf_gain_fused (P g and g^T P g together) and
+  /// ekf_apply_fused (rank-1 P update + process noise + weight step +
+  /// health scan in one pass) — instead of the four-launch
+  /// symv/dot/p_update/axpy sequence. Bit-exact with that sequence.
+  /// Effective only when fused_p_update and cache_pg are also set (the
+  /// ablation toggles force the legacy decomposition for Fig. 7 rows).
+  bool fused_step = true;
+
   /// Initial covariance diagonal: P starts as p_init * I, and the
   /// divergence-recovery path (recondition()) rescales an unhealthy P back
   /// toward this level. Must be positive and finite.

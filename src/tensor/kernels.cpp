@@ -1,5 +1,6 @@
 #include "tensor/kernels.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -273,6 +274,120 @@ Tensor linear_fused(const Tensor& x, const Tensor& w, const Tensor& bias) {
       },
       grain_items(k * n));
   return out;
+}
+
+Tensor linear_tanh(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  FEKF_CHECK(x.cols() == w.rows() && bias.rows() == 1 && bias.cols() == w.cols(),
+             "linear_tanh: " + x.shape_str() + " * " + w.shape_str() + " + " +
+                 bias.shape_str());
+  KernelLaunch launch("linear_tanh");
+  const i64 m = x.rows(), k = x.cols(), n = w.cols();
+  Tensor out(m, n);
+  const f32* __restrict__ px = x.data();
+  const f32* __restrict__ pw = w.data();
+  const f32* __restrict__ pb = bias.data();
+  f32* __restrict__ po = out.data();
+  parallel_for_blocks(
+      0, m,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          // Same bias-then-ascending-l accumulation as linear_fused, then
+          // tanh in place: bit-identical to tanh(linear_fused(...)).
+          f32* __restrict__ orow = po + i * n;
+          std::memcpy(orow, pb, static_cast<std::size_t>(n) * sizeof(f32));
+          const f32* __restrict__ xrow = px + i * k;
+          for (i64 l = 0; l < k; ++l) {
+            const f32 xv = xrow[l];
+            const f32* __restrict__ wrow = pw + l * n;
+            for (i64 j = 0; j < n; ++j) orow[j] += xv * wrow[j];
+          }
+          for (i64 j = 0; j < n; ++j) orow[j] = std::tanh(orow[j]);
+        }
+      },
+      grain_items(k * n));
+  return out;
+}
+
+void linear_tanh_backward(const Tensor& gy, const Tensor& y, const Tensor& x,
+                          const Tensor& w, Tensor& gx, Tensor& gw,
+                          Tensor& gb) {
+  const i64 m = x.rows(), k = x.cols(), n = w.cols();
+  FEKF_CHECK(gy.rows() == m && gy.cols() == n && y.same_shape(gy) &&
+                 w.rows() == k,
+             "linear_tanh_backward: gy " + gy.shape_str() + " y " +
+                 y.shape_str() + " x " + x.shape_str() + " w " +
+                 w.shape_str());
+  KernelLaunch launch("linear_tanh_backward");
+  // u = gy * (1 - y^2), the tanh_backward formula; held in kernel-local
+  // scratch (arena-allocated inside a step) and consumed by all three
+  // grads. Each phase below keeps the partition and accumulation order of
+  // its unfused counterpart, so every output is bit-exact against the
+  // composed tanh_backward/matmul_nt/matmul_tn/sum_rows chain at any
+  // thread width.
+  Tensor u(m, n);
+  const f32* __restrict__ pg = gy.data();
+  const f32* __restrict__ py = y.data();
+  f32* __restrict__ pu = u.data();
+  parallel_for_blocks(
+      0, m * n,
+      [&](i64 lo, i64 hi) {
+        for (i64 i = lo; i < hi; ++i) {
+          pu[i] = pg[i] * (1.0f - py[i] * py[i]);
+        }
+      },
+      kGrainWork);
+  // gx = u w^T (matmul_nt ordering: f64 accumulator, ascending l).
+  gx = Tensor(m, k);
+  const f32* __restrict__ pw = w.data();
+  f32* __restrict__ pgx = gx.data();
+  parallel_for_blocks(
+      0, m,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          const f32* __restrict__ urow = pu + i * n;
+          for (i64 j = 0; j < k; ++j) {
+            const f32* __restrict__ wrow = pw + j * n;
+            f64 acc = 0.0;
+            for (i64 l = 0; l < n; ++l) {
+              acc += static_cast<f64>(urow[l]) * wrow[l];
+            }
+            pgx[i * k + j] = static_cast<f32>(acc);
+          }
+        }
+      },
+      grain_items(n * k));
+  // gw = x^T u (matmul_tn ordering: f32 accumulation over ascending sample
+  // rows, output-row panels).
+  gw = Tensor::zeros(k, n);
+  const f32* __restrict__ px = x.data();
+  f32* __restrict__ pgw = gw.data();
+  parallel_for_blocks(
+      0, k,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 l = 0; l < m; ++l) {
+          const f32* __restrict__ xrow = px + l * k;
+          const f32* __restrict__ urow = pu + l * n;
+          for (i64 i = rlo; i < rhi; ++i) {
+            const f32 xv = xrow[i];
+            f32* __restrict__ grow = pgw + i * n;
+            for (i64 j = 0; j < n; ++j) grow[j] += xv * urow[j];
+          }
+        }
+      },
+      grain_items(m * n));
+  // gb = column sums of u (sum_rows ordering: f64 accumulator per column).
+  gb = Tensor(1, n);
+  f32* __restrict__ pgb = gb.data();
+  parallel_for_blocks(
+      0, n,
+      [&](i64 clo, i64 chi) {
+        for (i64 j = clo; j < chi; ++j) {
+          f64 acc = 0.0;
+          for (i64 i = 0; i < m; ++i) acc += pu[i * n + j];
+          pgb[j] = static_cast<f32>(acc);
+        }
+      },
+      grain_items(m));
 }
 
 Tensor broadcast_full(const Tensor& scalar, i64 m, i64 n) {
@@ -560,6 +675,82 @@ void symmetrize(std::span<f64> p, i64 n) {
         }
       },
       grain_items(n));
+}
+
+f64 ekf_gain_fused(std::span<const f64> p, std::span<const f64> g,
+                   std::span<f64> y, i64 n) {
+  FEKF_CHECK(static_cast<i64>(p.size()) == n * n &&
+                 static_cast<i64>(g.size()) == n &&
+                 static_cast<i64>(y.size()) == n,
+             "ekf_gain_fused size mismatch");
+  KernelLaunch launch("ekf_gain_fused");
+  const f64* __restrict__ pp = p.data();
+  const f64* __restrict__ pg = g.data();
+  f64* __restrict__ py = y.data();
+  // Pass 1: y = P g, row-partitioned exactly like symv.
+  parallel_for_blocks(
+      0, n,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          const f64* __restrict__ row = pp + i * n;
+          f64 acc = 0.0;
+          for (i64 j = 0; j < n; ++j) acc += row[j] * pg[j];
+          py[i] = acc;
+        }
+      },
+      grain_items(n));
+  // Pass 2 (same launch): g^T (P g) with dot()'s fixed-chunk reduction, so
+  // the scalar is bit-identical to the unfused symv-then-dot sequence.
+  return parallel_reduce_f64(0, n, kReduceChunk, [pg, py](i64 lo, i64 hi) {
+    f64 s = 0.0;
+    for (i64 i = lo; i < hi; ++i) s += pg[i] * py[i];
+    return s;
+  });
+}
+
+f64 ekf_apply_fused(std::span<f64> p, std::span<const f64> k, f64 a,
+                    f64 lambda, f64 step_scale, std::span<f64> w,
+                    f64 process_noise, i64 n) {
+  FEKF_CHECK(static_cast<i64>(p.size()) == n * n &&
+                 static_cast<i64>(k.size()) == n &&
+                 static_cast<i64>(w.size()) == n,
+             "ekf_apply_fused size mismatch");
+  KernelLaunch launch("ekf_apply_fused");
+  f64* __restrict__ pp = p.data();
+  const f64* __restrict__ pk = k.data();
+  f64* __restrict__ pw = w.data();
+  const f64 inv_lambda = 1.0 / lambda;
+  // Same pair-ownership partition as p_update_fused: the task owning row i
+  // touches exactly {(i,j), (j,i) : j >= i}, the diagonal (i,i), and w[i],
+  // so panels are disjoint and results are width-independent. Per element
+  // the arithmetic replays the unfused sequence verbatim: pair-averaged
+  // rank-1 update, then the additive noise on the diagonal, then the
+  // axpy-style weight step.
+  parallel_for_blocks(
+      0, n,
+      [&](i64 rlo, i64 rhi) {
+        for (i64 i = rlo; i < rhi; ++i) {
+          const f64 ki_scaled = a * pk[i];
+          for (i64 j = i; j < n; ++j) {
+            const f64 pij = 0.5 * (pp[i * n + j] + pp[j * n + i]);
+            const f64 v = (pij - ki_scaled * pk[j]) * inv_lambda;
+            pp[i * n + j] = v;
+            pp[j * n + i] = v;
+          }
+          pp[i * n + i] += process_noise;
+          pw[i] += step_scale * pk[i];
+        }
+      },
+      grain_items(n));
+  // Serial health scan after the pool join (still this launch), identical
+  // to the optimizer's NaN-latching loop: first non-finite diagonal wins.
+  f64 max_diag = 0.0;
+  for (i64 i = 0; i < n; ++i) {
+    const f64 d = pp[i * n + i];
+    if (!std::isfinite(d)) return d;
+    max_diag = std::max(max_diag, d);
+  }
+  return max_diag;
 }
 
 }  // namespace fekf::kernels

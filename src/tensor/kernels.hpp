@@ -50,6 +50,20 @@ Tensor broadcast_full(const Tensor& scalar, i64 m, i64 n);
 /// kernel fusion; the unfused path is matmul + add_rowvec).
 Tensor linear_fused(const Tensor& x, const Tensor& w, const Tensor& bias);
 
+/// Fully fused dense layer: y = tanh(x*w + bias) in ONE launch. Uses the
+/// exact accumulation order of linear_fused followed by elementwise tanh,
+/// so values are bit-identical to the opt2 two-launch chain.
+Tensor linear_tanh(const Tensor& x, const Tensor& w, const Tensor& bias);
+
+/// Fused backward of linear_tanh, ONE launch producing all three grads.
+/// Computes u = gy ⊙ (1 - y²) internally, then
+///   gx = u w^T    gw = x^T u    gb = 1^T u
+/// with the accumulation orders of tanh_backward + matmul_nt + matmul_tn +
+/// sum_rows, so each grad is bit-identical to the unfused 4-launch chain.
+void linear_tanh_backward(const Tensor& gy, const Tensor& y, const Tensor& x,
+                          const Tensor& w, Tensor& gx, Tensor& gw,
+                          Tensor& gb);
+
 // ---- reductions (double accumulators) --------------------------------------
 Tensor sum_all(const Tensor& a);                         // -> 1x1
 Tensor sum_rows(const Tensor& a);                        // (m,n) -> 1xn
@@ -100,5 +114,24 @@ void p_update_fused(std::span<f64> p, std::span<const f64> k, f64 inv_a,
 
 /// P = (P + P^T) / 2 (explicit symmetrization used by the unfused path).
 void symmetrize(std::span<f64> p, i64 n);
+
+/// Fused FEKF gain precomputation (KalmanConfig::fused_step): y = P g AND
+/// the scalar g^T P g in ONE launch, replacing the ekf_symv + ekf_dot pair.
+/// Bit-exact with that pair: rows accumulate in symv's ascending order and
+/// the scalar uses the same fixed-chunk reduction as dot().
+f64 ekf_gain_fused(std::span<const f64> p, std::span<const f64> g,
+                   std::span<f64> y, i64 n);
+
+/// Fused FEKF apply (KalmanConfig::fused_step): in ONE launch,
+///   P <- sym((P - a k k^T) / lambda) + process_noise * I
+///   w <- w + step_scale * k
+/// and returns the covariance max-diagonal with the same NaN-latching
+/// semantics as the serial health scan (first non-finite entry wins).
+/// Replaces ekf_p_update_fused + ekf_axpy plus the optimizer's uncounted
+/// process-noise and diagonal-scan loops; per-element arithmetic is
+/// identical to that sequence, so the results are bit-exact.
+f64 ekf_apply_fused(std::span<f64> p, std::span<const f64> k, f64 a,
+                    f64 lambda, f64 step_scale, std::span<f64> w,
+                    f64 process_noise, i64 n);
 
 }  // namespace fekf::kernels

@@ -3,12 +3,22 @@
 #include <algorithm>
 #include <cstring>
 
+#include "tensor/workspace.hpp"
+
 namespace fekf {
 
 Tensor::Tensor(i64 rows, i64 cols) : rows_(rows), cols_(cols) {
   FEKF_CHECK(rows >= 0 && cols >= 0, "negative tensor dimension");
   if (numel() > 0) {
-    data_ = std::shared_ptr<f32[]>(new f32[static_cast<std::size_t>(numel())]);
+    // Inside an armed ArenaScope, storage comes from the calling thread's
+    // bump arena (see workspace.hpp); outside, from operator new. Both
+    // paths hand back uninitialized memory with identical semantics.
+    if (Workspace::armed()) {
+      data_ = Workspace::local().allocate(numel());
+    } else {
+      data_ =
+          std::shared_ptr<f32[]>(new f32[static_cast<std::size_t>(numel())]);
+    }
   }
 }
 

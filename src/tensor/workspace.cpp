@@ -1,0 +1,183 @@
+#include "tensor/workspace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace fekf {
+
+namespace {
+
+/// Default slab capacity in f32 elements (4 MiB). Oversized requests get a
+/// dedicated slab of exactly their (aligned) size.
+constexpr i64 kSlabElems = i64{1} << 20;
+
+/// Allocation granularity in elements: 16 f32 = 64 bytes, one cache line,
+/// so consecutive tensors in a slab never share a line (matters for the
+/// disjoint-output-partition determinism argument — no false sharing).
+constexpr i64 kAlignElems = 16;
+
+std::atomic<i64> g_arm_depth{0};
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("FEKF_ARENA");
+    if (env == nullptr) return true;
+    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+             std::strcmp(env, "false") == 0);
+  }()};
+  return flag;
+}
+
+/// Registry of every thread's arena so the scope owner can rewind them all.
+/// Registration happens once per thread (thread_local construction) and
+/// unregistration once at thread exit, so the lock is cold.
+///
+/// Both the mutex and the vector are intentionally immortal (heap-allocated,
+/// never freed): pool workers are joined by a static destructor, so their
+/// thread_local ~Workspace calls can run AFTER ordinary function-local
+/// statics here are destroyed — unregistering through a destroyed vector is
+/// a use-after-free. A pointer held by a static keeps the allocation
+/// reachable, so LeakSanitizer does not flag it.
+std::mutex& registry_mutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::vector<Workspace*>& registry() {
+  static std::vector<Workspace*>* r = new std::vector<Workspace*>();
+  return *r;
+}
+
+}  // namespace
+
+struct Workspace::Slab {
+  explicit Slab(i64 cap)
+      : mem(new f32[static_cast<std::size_t>(cap)]), capacity(cap) {}
+  std::unique_ptr<f32[]> mem;
+  i64 capacity;    ///< elements
+  i64 offset = 0;  ///< bump cursor, elements
+};
+
+Workspace::Workspace() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().push_back(this);
+}
+
+Workspace::~Workspace() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto& r = registry();
+  r.erase(std::remove(r.begin(), r.end(), this), r.end());
+}
+
+Workspace& Workspace::local() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+bool Workspace::armed() {
+  return g_arm_depth.load(std::memory_order_relaxed) > 0 && enabled();
+}
+
+bool Workspace::enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void Workspace::set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void Workspace::arm() { g_arm_depth.fetch_add(1, std::memory_order_relaxed); }
+
+i64 Workspace::disarm() {
+  return g_arm_depth.fetch_sub(1, std::memory_order_relaxed) - 1;
+}
+
+std::shared_ptr<f32[]> Workspace::allocate(i64 numel) {
+  const i64 want = (numel + kAlignElems - 1) & ~(kAlignElems - 1);
+  while (true) {
+    if (cursor_ < slabs_.size()) {
+      Slab& s = *slabs_[cursor_];
+      if (s.capacity - s.offset >= want) break;
+      ++cursor_;  // tail waste is reclaimed at the next reset
+      continue;
+    }
+    const i64 cap = std::max(kSlabElems, want);
+    slabs_.push_back(std::make_shared<Slab>(cap));
+    reserved_bytes_.fetch_add(cap * static_cast<i64>(sizeof(f32)),
+                              std::memory_order_relaxed);
+  }
+  const std::shared_ptr<Slab>& sp = slabs_[cursor_];
+  f32* ptr = sp->mem.get() + sp->offset;
+  sp->offset += want;
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  scope_bytes_.fetch_add(numel * static_cast<i64>(sizeof(f32)),
+                         std::memory_order_relaxed);
+  // Aliasing constructor: the tensor's handle shares the SLAB's control
+  // block, so use_count() below is an exact live-tensor census per slab.
+  return std::shared_ptr<f32[]>(sp, ptr);
+}
+
+void Workspace::reset() {
+  std::vector<std::shared_ptr<Slab>> kept;
+  kept.reserve(slabs_.size());
+  for (std::shared_ptr<Slab>& sp : slabs_) {
+    // use_count() == 1 means only the arena holds the slab: no tensor can
+    // regrow the count (copies require an existing holder), so rewinding is
+    // safe. Anything else means a tensor escaped the scope: retire the slab
+    // — the escapee keeps it alive, and this arena never touches it again.
+    if (sp.use_count() == 1) {
+      sp->offset = 0;
+      kept.push_back(std::move(sp));
+    } else {
+      retired_.fetch_add(1, std::memory_order_relaxed);
+      reserved_bytes_.fetch_sub(sp->capacity * static_cast<i64>(sizeof(f32)),
+                                std::memory_order_relaxed);
+    }
+  }
+  slabs_ = std::move(kept);
+  cursor_ = 0;
+  const i64 sb = scope_bytes_.exchange(0, std::memory_order_relaxed);
+  if (sb > 0) {
+    last_scope_bytes_.store(sb, std::memory_order_relaxed);
+    i64 peak = peak_scope_bytes_.load(std::memory_order_relaxed);
+    while (sb > peak && !peak_scope_bytes_.compare_exchange_weak(
+                            peak, sb, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+void Workspace::reset_all() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (Workspace* ws : registry()) ws->reset();
+}
+
+WorkspaceStats Workspace::stats() {
+  WorkspaceStats out;
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (const Workspace* ws : registry()) {
+    out.slabs += static_cast<i64>(ws->slabs_.size());
+    out.reserved_bytes += ws->reserved_bytes_.load(std::memory_order_relaxed);
+    out.scope_bytes += ws->scope_bytes_.load(std::memory_order_relaxed);
+    out.last_scope_bytes +=
+        ws->last_scope_bytes_.load(std::memory_order_relaxed);
+    out.peak_scope_bytes +=
+        ws->peak_scope_bytes_.load(std::memory_order_relaxed);
+    out.allocs += ws->allocs_.load(std::memory_order_relaxed);
+    out.retired_slabs += ws->retired_.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Workspace::reset_stats() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (Workspace* ws : registry()) {
+    ws->last_scope_bytes_.store(0, std::memory_order_relaxed);
+    ws->peak_scope_bytes_.store(0, std::memory_order_relaxed);
+    ws->allocs_.store(0, std::memory_order_relaxed);
+    ws->retired_.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace fekf

@@ -1,0 +1,119 @@
+// Per-thread bump-pointer arena ("Workspace") for tensor temporaries.
+//
+// One training step allocates hundreds of short-lived tensors (autograd op
+// outputs, kernel scratch) that all die when the measurement graph is
+// dropped at the end of the step. The paper's implementation avoids paying
+// cudaMalloc for these by drawing them from a reused workspace; this is the
+// CPU analog: while a step-scoped ArenaScope is armed, Tensor storage comes
+// from the calling thread's Workspace (a chain of large slabs bumped by a
+// cursor) instead of operator new, and the scope's destructor rewinds every
+// thread's slabs in O(#slabs).
+//
+// Aliasing rules (DESIGN.md §12 "Kernel fusion & memory arena"):
+//  * A tensor's storage shared_ptr aliases its slab's control block, so the
+//    slab cannot be rewound or freed while any tensor into it is alive.
+//  * reset() rewinds only slabs whose use_count shows no live tensors; a
+//    slab that a tensor escaped the scope with is RETIRED instead — dropped
+//    from the arena (the escaping tensor keeps it alive) and never reused.
+//    Memory handed out by the arena is therefore never aliased by a later
+//    step, by construction; tests assert the retired count to catch
+//    accidental escapes.
+//  * Arming is process-global (a relaxed atomic depth), but each thread
+//    allocates from its own Workspace, so the hot path takes no lock. The
+//    scope owner must only reset at a quiescent point: every parallel
+//    region issued inside the scope has joined (the pool join provides the
+//    happens-before edge; see DESIGN.md "Threading & determinism").
+//
+// FEKF_ARENA=0 (or "off"/"false") disables the arena globally; scopes then
+// arm nothing and every tensor falls back to operator new, which is the
+// bit-identical reference path (the arena changes where bytes live, never
+// what they hold).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace fekf {
+
+/// Aggregated allocator counters (sums over every thread's arena).
+struct WorkspaceStats {
+  i64 slabs = 0;            ///< live slabs currently owned by arenas
+  i64 reserved_bytes = 0;   ///< total capacity of those slabs
+  i64 scope_bytes = 0;      ///< bytes handed out since the last reset
+  i64 last_scope_bytes = 0; ///< bytes handed out in the last completed scope
+  i64 peak_scope_bytes = 0; ///< max bytes a single scope ever handed out
+  i64 allocs = 0;           ///< tensor allocations served from slabs
+  i64 retired_slabs = 0;    ///< slabs abandoned because a tensor escaped
+};
+
+class Workspace {
+ public:
+  Workspace();
+  ~Workspace();
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Bump-allocate storage for `numel` f32 elements. The returned pointer
+  /// aliases the owning slab's control block (zero extra heap traffic).
+  std::shared_ptr<f32[]> allocate(i64 numel);
+
+  /// Rewind this arena: slabs with no live tensors restart at offset 0;
+  /// slabs kept alive by escaped tensors are retired (see header comment).
+  void reset();
+
+  /// The calling thread's arena (thread_local, registered for reset_all).
+  static Workspace& local();
+
+  /// True when an ArenaScope is active AND the arena is enabled — the gate
+  /// the Tensor constructor checks (two relaxed loads).
+  static bool armed();
+
+  /// Process-wide enable switch, initialized once from FEKF_ARENA.
+  static bool enabled();
+  static void set_enabled(bool on);
+
+  /// Rewind every thread's arena. Caller must guarantee quiescence (no
+  /// concurrent allocation), which step boundaries do by joining the pool.
+  static void reset_all();
+
+  static WorkspaceStats stats();
+  static void reset_stats();
+
+ private:
+  friend class ArenaScope;
+  static void arm();
+  /// Returns the new depth so the outermost scope can trigger reset_all.
+  static i64 disarm();
+
+  struct Slab;
+  std::vector<std::shared_ptr<Slab>> slabs_;
+  std::size_t cursor_ = 0;  ///< slabs before cursor_ are full for this scope
+  std::atomic<i64> scope_bytes_{0};
+  std::atomic<i64> last_scope_bytes_{0};
+  std::atomic<i64> peak_scope_bytes_{0};
+  std::atomic<i64> allocs_{0};
+  std::atomic<i64> retired_{0};
+  std::atomic<i64> reserved_bytes_{0};
+};
+
+/// RAII step scope: arms the arena for its lifetime and rewinds every
+/// thread's slabs when the outermost scope closes. Place it so that every
+/// tensor allocated under it (the forward/backward graph, the measurement)
+/// is destroyed first — the trainers open one per update, before the
+/// measurement variable. Nesting is allowed; only the outermost resets.
+class ArenaScope {
+ public:
+  ArenaScope() { Workspace::arm(); }
+  ~ArenaScope() {
+    if (Workspace::disarm() == 0 && Workspace::enabled()) {
+      Workspace::reset_all();
+    }
+  }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+};
+
+}  // namespace fekf

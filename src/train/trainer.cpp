@@ -11,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "tensor/workspace.hpp"
 #include "train/observer.hpp"
 
 namespace fekf::train {
@@ -371,6 +372,10 @@ TrainResult AdamTrainer::train(std::span<const EnvPtr> train_envs,
   hooks.run_step = [&](std::span<const EnvPtr> batch,
                        i64 step_index) -> StepSignals {
     current_step_ = step_index;
+    // The loss graph is declared after the scope, so it is destroyed
+    // before the arena rewinds (the StepSignals return value is built
+    // while `loss` is still alive).
+    ArenaScope arena;
     ag::Variable loss;
     {
       obs::ScopedSpan span("forward", "train");
@@ -491,6 +496,9 @@ void KalmanTrainer::apply_naive_sample(i64 slot,
 }
 
 void KalmanTrainer::energy_update(std::span<const EnvPtr> batch) {
+  // Declared before the measurement so the whole forward/backward graph
+  // dies before the scope rewinds the arena (workspace.hpp aliasing rules).
+  ArenaScope arena;
   if (mode_ == EkfMode::kFekf) {
     Measurement m;
     {
@@ -520,6 +528,7 @@ void KalmanTrainer::energy_update(std::span<const EnvPtr> batch) {
 
 void KalmanTrainer::force_update(std::span<const EnvPtr> batch,
                                  std::span<const i64> group) {
+  ArenaScope arena;
   if (mode_ == EkfMode::kFekf) {
     Measurement m;
     {

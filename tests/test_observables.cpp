@@ -62,7 +62,9 @@ TEST(Rdf, FccFirstShellPeak) {
   EXPECT_NEAR(rdf.r[peak_bin], nn, 0.15);
   // No density below 0.8 * nn.
   for (std::size_t b = 0; b < rdf.g.size(); ++b) {
-    if (rdf.r[b] < 0.8 * nn) EXPECT_EQ(rdf.g[b], 0.0);
+    if (rdf.r[b] < 0.8 * nn) {
+      EXPECT_EQ(rdf.g[b], 0.0);
+    }
   }
 }
 

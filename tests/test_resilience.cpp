@@ -5,6 +5,8 @@
 // cluster, and exception-safe training steps.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -20,8 +22,12 @@ namespace {
 
 struct TempFile {
   std::string path;
+  // The pid suffix keeps concurrent ctest jobs of this binary (the plain
+  // and _traced entries run in parallel under `ctest -j`) from clobbering
+  // each other's checkpoint files.
   explicit TempFile(const char* name)
-      : path(std::string(::testing::TempDir()) + name) {}
+      : path(std::string(::testing::TempDir()) + name + "." +
+             std::to_string(static_cast<long long>(::getpid()))) {}
   ~TempFile() { std::remove(path.c_str()); }
 };
 
