@@ -22,12 +22,16 @@
 // iterations), and `--json FILE` emits the per-config numbers that
 // ci/check_budgets.py compares against ci/budgets.json.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "deepmd/descriptor_variants.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "tensor/dispatch.hpp"
 #include "tensor/kernel_counter.hpp"
+#include "tensor/variants/variants.hpp"
 #include "tensor/workspace.hpp"
 
 using namespace fekf;
@@ -80,6 +84,164 @@ void check_split_agreement(const char* config, const char* phase, f64 timer_s,
                  config + " phase " + phase + " timer=" +
                  std::to_string(timer_s) + "s span=" + std::to_string(span_s) +
                  "s (" + std::to_string(100.0 * rel) + "% off)");
+}
+
+// ---------------------------------------------------------------------------
+// Per-variant kernel-dispatch micro table (DESIGN.md §13, docs/KERNELS.md)
+// ---------------------------------------------------------------------------
+
+namespace dp = fekf::dispatch;
+
+struct VariantRow {
+  dp::Variant v;
+  bool eligible = false;   ///< compiled and supported by this CPU
+  bool selected = false;   ///< what the current policy resolves to
+  f64 s_per_call = 0.0;    ///< best-of-3 averaged wall time (eligible only)
+  f64 speedup = 0.0;       ///< scalar s_per_call / this s_per_call
+};
+
+struct DispatchSection {
+  std::string kernel;
+  std::string shape;
+  std::vector<VariantRow> rows;
+
+  f64 best_speedup() const {
+    f64 best = 1.0;
+    for (const VariantRow& r : rows) {
+      if (r.eligible) best = std::max(best, r.speedup);
+    }
+    return best;
+  }
+};
+
+/// Times `call(fn)` on the calling thread: repeats are calibrated on the
+/// scalar variant (~40 ms), then every variant runs the same repeat count
+/// three times and keeps the best pass — the per-variant rows in
+/// docs/KERNELS.md and the ci/budgets.json "dispatch" section come from
+/// exactly this loop.
+template <typename Call>
+DispatchSection time_family(const std::string& kernel, std::string shape,
+                            Call&& call) {
+  auto& reg = dp::Registry::instance();
+  const dp::CpuFeatures cpu = reg.cpu_features();
+  const dp::Variant selected = reg.selected(kernel);
+  DispatchSection section{kernel, std::move(shape), {}};
+
+  const dp::Variant scalar = *reg.find(kernel, "scalar");
+  const auto time_once = [&](const dp::Variant& v, i64 repeats) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (i64 r = 0; r < repeats; ++r) call(v);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<f64>(t1 - t0).count() /
+           static_cast<f64>(repeats);
+  };
+  // Calibrate on scalar: target ~40 ms per measured pass.
+  i64 repeats = 1;
+  f64 scalar_probe = time_once(scalar, 1);
+  while (scalar_probe * static_cast<f64>(repeats) < 0.04 &&
+         repeats < (1 << 20)) {
+    repeats *= 2;
+  }
+  const auto measure = [&](const dp::Variant& v) {
+    f64 best = time_once(v, repeats);
+    for (int pass = 1; pass < 3; ++pass) {
+      best = std::min(best, time_once(v, repeats));
+    }
+    return best;
+  };
+  const f64 scalar_s = measure(scalar);
+  for (const dp::Variant& v : reg.variants(kernel)) {
+    VariantRow row;
+    row.v = v;
+    row.eligible =
+        v.compiled && (v.isa != "avx2+fma" || (cpu.avx2 && cpu.fma));
+    row.selected = v.name == selected.name;
+    if (row.eligible) {
+      row.s_per_call = v.name == "scalar" ? scalar_s : measure(v);
+      row.speedup = scalar_s / row.s_per_call;
+    }
+    section.rows.push_back(row);
+  }
+  return section;
+}
+
+std::vector<DispatchSection> run_dispatch_micro(u64 seed) {
+  dp::register_gemm_variants();
+  dp::register_tanh_variants();
+  dp::register_ekf_variants();
+  dp::register_desc_variants();
+  Rng rng(seed);
+  std::vector<DispatchSection> sections;
+
+  {  // gemm: embedding-net layer shape (d = 50 from the paper network).
+    const i64 m = 256, k = 50, n = 50;
+    const Tensor x = Tensor::randn(m, k, rng);
+    const Tensor w = Tensor::randn(k, n, rng);
+    const Tensor b = Tensor::randn(1, n, rng);
+    Tensor out(m, n);
+    sections.push_back(time_family(
+        "gemm_f32", "m=256 k=50 n=50", [&](const dp::Variant& v) {
+          reinterpret_cast<dp::GemmPanelFn>(v.fn)(
+              x.data(), w.data(), b.data(), out.data(), 0, m, k, n);
+        }));
+  }
+  {  // tanh: one activation sweep.
+    const i64 count = 1 << 16;
+    const Tensor x = Tensor::randn(1, count, rng);
+    Tensor y(1, count);
+    sections.push_back(time_family(
+        "tanh_f32", "count=65536", [&](const dp::Variant& v) {
+          reinterpret_cast<dp::TanhChunkFn>(v.fn)(x.data(), y.data(), count);
+        }));
+  }
+  const i64 n = 1024;  // EKF block size (paper blocksize regime)
+  std::vector<f64> p(static_cast<std::size_t>(n * n));
+  std::vector<f64> g(static_cast<std::size_t>(n));
+  std::vector<f64> y(static_cast<std::size_t>(n));
+  {
+    const Tensor t = Tensor::randn(1, n * n, rng);
+    for (i64 i = 0; i < n * n; ++i) p[static_cast<std::size_t>(i)] = t.data()[i];
+    const Tensor tg = Tensor::randn(1, n, rng);
+    for (i64 i = 0; i < n; ++i) g[static_cast<std::size_t>(i)] = tg.data()[i];
+  }
+  sections.push_back(time_family(
+      "ekf_symv_f64", "n=1024", [&](const dp::Variant& v) {
+        reinterpret_cast<dp::SymvPanelFn>(v.fn)(p.data(), g.data(), y.data(),
+                                                0, n, n);
+      }));
+  {  // dot: one reduce chunk (kReduceChunk elements).
+    const i64 len = 1 << 15;
+    std::vector<f64> a(static_cast<std::size_t>(len)),
+        b(static_cast<std::size_t>(len));
+    const Tensor ta = Tensor::randn(2, len, rng);
+    for (i64 i = 0; i < len; ++i) {
+      a[static_cast<std::size_t>(i)] = ta.data()[i];
+      b[static_cast<std::size_t>(i)] = ta.data()[len + i];
+    }
+    volatile f64 sink = 0.0;
+    sections.push_back(time_family(
+        "ekf_dot_f64", "len=32768", [&](const dp::Variant& v) {
+          sink = reinterpret_cast<dp::DotChunkFn>(v.fn)(a.data(), b.data(), 0,
+                                                        len);
+        }));
+    (void)sink;
+  }
+  sections.push_back(time_family(
+      "ekf_rank1_f64", "n=1024", [&](const dp::Variant& v) {
+        reinterpret_cast<dp::Rank1PanelFn>(v.fn)(p.data(), g.data(), 0.37,
+                                                 1.0 / 0.9987, 0, n, n);
+      }));
+  {  // descriptor tail: paper M=25, M^<=16 block.
+    const i64 m = 25, m_axis = 16, q = 256;
+    const Tensor a = Tensor::randn(m, q, rng);
+    Tensor out(m, m_axis);
+    sections.push_back(time_family(
+        "desc_contract_f32", "m=25 maxis=16 q=256", [&](const dp::Variant& v) {
+          reinterpret_cast<dp::DescContractFn>(v.fn)(a.data(), out.data(), m,
+                                                     m_axis, q);
+        }));
+  }
+  return sections;
 }
 
 }  // namespace
@@ -350,6 +512,37 @@ int main(int argc, char** argv) {
               "descriptor derivatives) and the iteration accelerates "
               "step-by-step (paper total: 3.48x on the A100).\n");
 
+  // Per-variant dispatch micro table (DESIGN.md §13). Rows are keyed
+  // "dispatch.<kernel>.<variant>" in ci/budgets.json, and docs/KERNELS.md
+  // mirrors this table — ci/check_budgets.py --kernels-doc flags drift.
+  const auto dispatch_sections =
+      run_dispatch_micro(static_cast<u64>(cli.get_int("seed")));
+  const dp::CpuFeatures cpu = dp::Registry::instance().cpu_features();
+  const auto requested = dp::Registry::instance().requested();
+  std::printf("\nKernel-dispatch variants (backend=%s, cpu: avx2=%d fma=%d); "
+              "single-thread body timings, best of 3:\n",
+              requested ? dp::level_name(*requested) : "auto", cpu.avx2,
+              cpu.fma);
+  Table td({"kernel", "shape", "variant", "level", "isa", "exactness",
+            "s/call", "speedup", "selected"});
+  for (const DispatchSection& sec : dispatch_sections) {
+    for (const VariantRow& row : sec.rows) {
+      td.add_row({sec.kernel, sec.shape, row.v.name,
+                  dp::level_name(row.v.level), row.v.isa,
+                  row.v.exactness == dp::Exactness::kBitExact
+                      ? "bit_exact"
+                      : fmt("tolerance(%.0e)", row.v.tolerance),
+                  row.eligible ? fmt("%.3e", row.s_per_call) : "-",
+                  row.eligible ? fmt("%.2fx", row.speedup) : "-",
+                  row.selected ? "<=" : ""});
+    }
+  }
+  td.print();
+  for (const DispatchSection& sec : dispatch_sections) {
+    std::printf("  %-18s best variant speedup vs scalar: %.2fx\n",
+                sec.kernel.c_str(), sec.best_speedup());
+  }
+
   const std::string json_path = cli.get("json");
   std::string json = "{\n  \"bench\": \"fig7bc_kernels\",\n";
   json += "  \"system\": \"" + cli.get("system") + "\",\n";
@@ -380,7 +573,36 @@ int main(int argc, char** argv) {
             std::to_string(s.arena_retired_slabs) + "}";
     json += c + 1 < samples.size() ? ",\n" : "\n";
   }
-  json += "  ]\n}\n";
+  json += "  ],\n";
+  json += "  \"dispatch\": {\n";
+  json += "    \"backend\": \"" +
+          std::string(requested ? dp::level_name(*requested) : "auto") +
+          "\",\n";
+  json += "    \"cpu_avx2\": " + std::string(cpu.avx2 ? "true" : "false") +
+          ",\n";
+  json += "    \"cpu_fma\": " + std::string(cpu.fma ? "true" : "false") +
+          ",\n    \"kernels\": [\n";
+  for (std::size_t s = 0; s < dispatch_sections.size(); ++s) {
+    const DispatchSection& sec = dispatch_sections[s];
+    json += "      {\"kernel\": \"" + sec.kernel + "\", \"shape\": \"" +
+            sec.shape + "\", \"best_speedup\": " +
+            fmt("%.3f", sec.best_speedup()) + ", \"variants\": [\n";
+    for (std::size_t r = 0; r < sec.rows.size(); ++r) {
+      const VariantRow& row = sec.rows[r];
+      json += "        {\"name\": \"" + row.v.name + "\", \"level\": \"" +
+              dp::level_name(row.v.level) + "\", \"isa\": \"" + row.v.isa +
+              "\", \"exactness\": \"" + dp::exactness_name(row.v.exactness) +
+              "\", \"tolerance\": " + fmt("%.3e", row.v.tolerance) +
+              ", \"eligible\": " + (row.eligible ? "true" : "false") +
+              ", \"selected\": " + (row.selected ? "true" : "false") +
+              ", \"s_per_call\": " + fmt("%.6e", row.s_per_call) +
+              ", \"speedup_vs_scalar\": " + fmt("%.3f", row.speedup) + "}";
+      json += r + 1 < sec.rows.size() ? ",\n" : "\n";
+    }
+    json += "      ]}";
+    json += s + 1 < dispatch_sections.size() ? ",\n" : "\n";
+  }
+  json += "    ]\n  }\n}\n";
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     FEKF_CHECK(f != nullptr, "cannot open --json file " + json_path);

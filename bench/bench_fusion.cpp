@@ -24,6 +24,7 @@
 #include "bench_common.hpp"
 #include "optim/kalman.hpp"
 #include "parallel/thread_pool.hpp"
+#include "tensor/dispatch.hpp"
 #include "tensor/kernel_counter.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/workspace.hpp"
@@ -186,6 +187,55 @@ int main(int argc, char** argv) {
                    std::to_string(ekf.unfused_launches)});
   }
 
+  // ---- fused EKF step per kernel backend ------------------------------
+  // Same comparison as above, once per forced FEKF_KERNEL_BACKEND level
+  // (DESIGN.md §13). The fused and legacy paths share the dispatched
+  // symv/dot/rank1 bodies, so the bit-identity assertion must hold under
+  // EVERY backend — tolerance-class variants included — and the per-level
+  // rows show what each ladder rung buys on the EKF update.
+  std::vector<std::pair<std::string, Result>> ekf_backends;
+  {
+    const i64 n = cli.get_int("ekf-n");
+    auto& reg = dispatch::Registry::instance();
+    const auto prior = reg.requested();
+    for (dispatch::Level level :
+         {dispatch::Level::kScalar, dispatch::Level::kSimd,
+          dispatch::Level::kAvx2}) {
+      reg.set_backend(level);
+      std::vector<optim::BlockSpec> blocks{{0, n, "blk"}};
+      optim::KalmanConfig fused_cfg;
+      optim::KalmanConfig legacy_cfg;
+      legacy_cfg.fused_step = false;
+      optim::KalmanOptimizer fused_opt(blocks, fused_cfg);
+      optim::KalmanOptimizer legacy_opt(blocks, legacy_cfg);
+      Rng rng(13);
+      std::vector<f64> g(static_cast<std::size_t>(n));
+      for (f64& v : g) v = rng.gaussian() * 0.05;
+      std::vector<f64> wf(static_cast<std::size_t>(n), 0.0);
+      std::vector<f64> wl(static_cast<std::size_t>(n), 0.0);
+      Result r;
+      measure([&] { fused_opt.update(g, 0.1, wf); }, reps, &r.fused_s,
+              &r.fused_launches);
+      measure([&] { legacy_opt.update(g, 0.1, wl); }, reps, &r.unfused_s,
+              &r.unfused_launches);
+      const char* name = dispatch::level_name(level);
+      FEKF_CHECK(wf == wl, std::string("fused EKF weights diverged from "
+                                       "legacy under backend ") +
+                               name);
+      FEKF_CHECK(fused_opt.state().p == legacy_opt.state().p,
+                 std::string("fused EKF covariance diverged from legacy "
+                             "under backend ") +
+                     name);
+      table.add_row({std::string("EKF block update [") + name + "]",
+                     fmt("%.6f", r.fused_s), fmt("%.6f", r.unfused_s),
+                     fmt("%.2fx", r.speedup()),
+                     std::to_string(r.fused_launches),
+                     std::to_string(r.unfused_launches)});
+      ekf_backends.emplace_back(name, r);
+    }
+    reg.set_backend(prior);
+  }
+
   // ---- arena vs heap --------------------------------------------------
   Result arena;
   i64 arena_allocs = 0, arena_peak_bytes = 0, arena_retired = 0;
@@ -282,6 +332,9 @@ int main(int argc, char** argv) {
     json += entry("linear_tanh", lin) + ",\n";
     json += entry("model_step", model) + ",\n";
     json += entry("ekf_block_update", ekf);
+    for (const auto& [backend, result] : ekf_backends) {
+      json += ",\n" + entry(("ekf_block_update_" + backend).c_str(), result);
+    }
     if (arena_available) {
       json += ",\n" + entry("arena_vs_heap", arena);
     }

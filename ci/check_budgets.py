@@ -15,6 +15,17 @@ when any metric regresses beyond the thresholds in ci/budgets.json:
     hosts vary; launch/byte budgets are the tight ones (deterministic for a
     given bench scale)
   * bench_fusion launch budgets per fusion site (`max_fused_launches`)
+  * kernel-dispatch variant budgets (the "dispatch" section, DESIGN.md
+    §13): every budgeted `<kernel>.<variant>` must still be registered
+    (a vanished variant is a regression, not a skip), eligible variants
+    must meet `max_s_per_call`, and each kernel named in
+    `min_best_speedup` must keep its best-variant-vs-scalar speedup —
+    this is what makes the SIMD win a gate, not an anecdote
+
+--kernels-doc FILE cross-checks docs/KERNELS.md against the artifact's
+dispatch section: every registered variant must appear in the doc's
+reference table with the same exactness class and budget key, and the doc
+must not list variants the registry no longer has.
 
 Re-baselining (after an INTENTIONAL change to kernel granularity, bench
 scale, or model defaults): run the benches, eyeball the new numbers, then
@@ -108,6 +119,55 @@ def check_fusion(doc, budgets, failures):
                 f"{actual['unfused_launches']} — fusion regressed away")
 
 
+def check_dispatch(doc, budgets, failures):
+    if not budgets:
+        return
+    dispatch = doc.get("dispatch")
+    if dispatch is None:
+        failures.append("dispatch: budgets define kernel-variant limits but "
+                        "the fig7bc artifact has no 'dispatch' section "
+                        "(bench predates the dispatch registry?)")
+        return
+    per_kernel = {k["kernel"]: k for k in dispatch.get("kernels", [])}
+    for kernel, limits in budgets.get("kernels", {}).items():
+        actual = per_kernel.get(kernel)
+        if actual is None:
+            failures.append(f"dispatch: kernel '{kernel}' missing from "
+                            f"artifact (family unregistered? budgets out of "
+                            f"sync)")
+            continue
+        per_variant = {v["name"]: v for v in actual.get("variants", [])}
+        for vname, vlimits in limits.get("variants", {}).items():
+            v = per_variant.get(vname)
+            if v is None:
+                # A budgeted variant that is no longer registered is a
+                # regression (someone deleted/renamed it), not a skip.
+                failures.append(
+                    f"dispatch[{kernel}]: variant '{vname}' missing from "
+                    f"artifact — unregistered variant or budgets out of sync")
+                continue
+            if not v.get("eligible", False):
+                # Not eligible on this host (CPU lacks the ISA): the bench
+                # does not time it, so there is nothing to gate. The
+                # registration itself was still verified above.
+                what = f"dispatch[{kernel}.{vname}].s_per_call"
+                print(f"  {what:<48} skipped (not eligible on this host)")
+                continue
+            gate(failures, f"dispatch[{kernel}.{vname}].s_per_call",
+                 v["s_per_call"], vlimits.get("max_s_per_call"))
+        min_speedup = limits.get("min_best_speedup")
+        if min_speedup is not None:
+            eligible_nonscalar = any(
+                v.get("eligible") and v.get("level") != "scalar"
+                for v in actual.get("variants", []))
+            if not eligible_nonscalar:
+                print(f"  dispatch[{kernel}].best_speedup skipped "
+                      f"(no eligible non-scalar variant on this host)")
+            else:
+                gate_min(failures, f"dispatch[{kernel}].best_speedup",
+                         actual.get("best_speedup", 0.0), min_speedup)
+
+
 def gate(failures, what, actual, limit):
     if limit is None:
         return
@@ -118,12 +178,83 @@ def gate(failures, what, actual, limit):
         failures.append(f"{what}: {actual} exceeds budget {limit}")
 
 
+def gate_min(failures, what, actual, floor):
+    status = "ok" if actual >= floor else "FAIL"
+    print(f"  {what:<48} {float(actual):>14.6g}  "
+          f"floor  {float(floor):>14.6g}  {status}")
+    if actual < floor:
+        failures.append(f"{what}: {actual} is below the required {floor}")
+
+
+def variant_exactness(v):
+    if v.get("exactness") == "bit_exact":
+        return "bit_exact"
+    return f"tolerance({v.get('tolerance', 0.0):g})"
+
+
+def check_kernels_doc(doc, doc_path, failures):
+    """Cross-check docs/KERNELS.md against the artifact's dispatch section.
+
+    The doc's reference table is machine-diffable by construction: each row
+    is `| `kernel` | `variant` | level | isa | exactness | `budget key` |
+    speedup |`. Every registered variant must have a row with the matching
+    exactness class and the canonical budget key, and the doc must not
+    list variants the registry no longer has.
+    """
+    dispatch = doc.get("dispatch")
+    if dispatch is None:
+        failures.append(f"kernels-doc: artifact has no 'dispatch' section "
+                        f"to diff {doc_path} against")
+        return
+    registered = {}   # (kernel, variant) -> exactness string
+    for k in dispatch.get("kernels", []):
+        for v in k.get("variants", []):
+            registered[(k["kernel"], v["name"])] = variant_exactness(v)
+
+    documented = {}   # (kernel, variant) -> (exactness, budget_key)
+    for line in pathlib.Path(doc_path).read_text().splitlines():
+        cells = [c.strip() for c in line.strip().strip("|").split("|")]
+        if len(cells) < 6 or not cells[0].startswith("`"):
+            continue   # not a data row of the reference table
+        kernel = cells[0].strip("`")
+        variant = cells[1].strip("`")
+        exactness = cells[4].replace("`", "")
+        budget_key = cells[5].strip("`")
+        documented[(kernel, variant)] = (exactness, budget_key)
+
+    for key, exactness in sorted(registered.items()):
+        kernel, variant = key
+        row = documented.get(key)
+        if row is None:
+            failures.append(f"kernels-doc: registered variant "
+                            f"{kernel}.{variant} has no row in {doc_path}")
+            continue
+        doc_exact, doc_budget_key = row
+        if doc_exact != exactness:
+            failures.append(
+                f"kernels-doc: {kernel}.{variant} documented as "
+                f"'{doc_exact}' but registered as '{exactness}'")
+        want_key = f"dispatch.{kernel}.{variant}"
+        if doc_budget_key not in (want_key, "-"):
+            failures.append(
+                f"kernels-doc: {kernel}.{variant} budget key "
+                f"'{doc_budget_key}' should be '{want_key}' (or '-')")
+    for key in sorted(set(documented) - set(registered)):
+        failures.append(f"kernels-doc: {doc_path} lists {key[0]}.{key[1]} "
+                        f"but it is not registered (stale row)")
+    n_ok = len(set(registered) & set(documented))
+    print(f"kernels-doc: {n_ok}/{len(registered)} registered variants "
+          f"documented in {doc_path}")
+
+
 def run_checks(fig7bc, fusion, budgets):
     failures = []
     print("fig7bc_kernels budgets:")
     check_fig7bc(fig7bc, budgets.get("fig7bc_kernels", {}), failures)
     print("fusion budgets:")
     check_fusion(fusion, budgets.get("fusion", {}), failures)
+    print("dispatch budgets:")
+    check_dispatch(fig7bc, budgets.get("dispatch", {}), failures)
     return failures
 
 
@@ -156,6 +287,27 @@ def rebaseline(fig7bc, fusion, path):
             },
         },
     }
+    dispatch = fig7bc.get("dispatch")
+    if dispatch is not None:
+        kernels = {}
+        for k in dispatch.get("kernels", []):
+            entry = {
+                "variants": {
+                    v["name"]: {
+                        "max_s_per_call":
+                            float(f"{v['s_per_call'] * TIME_SLACK:.3g}"),
+                    }
+                    for v in k.get("variants", []) if v.get("eligible")
+                },
+            }
+            # The paper-shape acceptance floor: any kernel whose best
+            # variant clears 1.5x on this host keeps that requirement, so
+            # the SIMD win cannot silently erode (ISSUE: >=1.5x on at least
+            # one hot phase, enforced here).
+            if k.get("best_speedup", 0.0) >= 1.5:
+                entry["min_best_speedup"] = 1.5
+            kernels[k["kernel"]] = entry
+        budgets["dispatch"] = {"kernels": kernels}
     with open(path, "w") as f:
         json.dump(budgets, f, indent=2)
         f.write("\n")
@@ -186,6 +338,37 @@ def self_test(fig7bc, fusion, budgets):
         return 1
     print(f"\nself-test: ok — injected regression caught "
           f"({len(caught)} violation(s), e.g. '{caught[0]}')")
+    # Inject a missing-variant regression: a budgeted SIMD variant vanishes
+    # from the artifact (someone deleted or renamed its registration). The
+    # dispatch gate MUST treat that as a failure, not a skip.
+    injected = None
+    for kernel, limits in budgets.get("dispatch", {}).get(
+            "kernels", {}).items():
+        for vname in limits.get("variants", {}):
+            if vname != "scalar":
+                injected = (kernel, vname)
+                break
+        if injected:
+            break
+    if injected is None:
+        print("self-test: SKIPPED missing-variant injection — budgets "
+              "define no non-scalar dispatch variants", file=sys.stderr)
+        return 0
+    broken = copy.deepcopy(fig7bc)
+    for k in broken["dispatch"]["kernels"]:
+        if k["kernel"] == injected[0]:
+            k["variants"] = [v for v in k["variants"]
+                             if v["name"] != injected[1]]
+    print(f"\nself-test: removed variant {injected[0]}.{injected[1]} from "
+          f"the artifact, re-checking (failures below are EXPECTED):")
+    caught = run_checks(broken, fusion, budgets)
+    missing = [f for f in caught if "missing from artifact" in f
+               and injected[1] in f]
+    if not missing:
+        print("self-test: FAILED — the missing-variant regression was not "
+              "caught", file=sys.stderr)
+        return 1
+    print(f"\nself-test: ok — missing variant caught ('{missing[0]}')")
     return 0
 
 
@@ -202,7 +385,11 @@ def main():
                         help="rewrite --budgets from the current artifacts")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gate catches an injected "
-                             "launch-count regression")
+                             "launch-count regression and a removed "
+                             "dispatch variant")
+    parser.add_argument("--kernels-doc", default=None, metavar="FILE",
+                        help="cross-check docs/KERNELS.md rows against the "
+                             "artifact's dispatch section")
     args = parser.parse_args()
 
     fig7bc_path, fusion_path = args.fig7bc, args.fusion
@@ -226,6 +413,8 @@ def main():
     if args.self_test:
         return self_test(fig7bc, fusion, budgets)
     failures = run_checks(fig7bc, fusion, budgets)
+    if args.kernels_doc:
+        check_kernels_doc(fig7bc, args.kernels_doc, failures)
     if failures:
         print(f"check_budgets: {len(failures)} violation(s):",
               file=sys.stderr)

@@ -7,13 +7,19 @@
 #   1. format gate            ci/check_format.py (.clang-format)
 #   2. configure + build      -DFEKF_WERROR=ON (zero-warning budget),
 #                             ccache when available
-#   3. full ctest             includes the *_mt4, *_traced, *_fault and
-#                             test_fusion_noarena environment re-runs, at
-#                             every width in FEKF_CI_WIDTHS
+#   3. full ctest             includes the *_mt4, *_traced, *_fault,
+#                             *_scalar_backend and test_fusion_noarena
+#                             environment re-runs, at every width in
+#                             FEKF_CI_WIDTHS, plus a forced-scalar leg
+#                             (FEKF_KERNEL_BACKEND=scalar) so the dispatch
+#                             fallback path stays tested end to end
 #   4. perf/launch budgets    (release legs only) bench_fig7bc_kernels +
 #                             bench_fusion emit JSON, ci/check_budgets.py
-#                             gates it against ci/budgets.json, and the
-#                             gate's --self-test proves it can fail
+#                             gates it against ci/budgets.json (incl. the
+#                             per-variant dispatch budgets), diffs
+#                             docs/KERNELS.md against the registry via
+#                             --kernels-doc, and the gate's --self-test
+#                             proves it can fail
 #
 # Matrix knobs (the workflow sets these per job; locally the defaults run
 # the whole matrix serially):
@@ -65,6 +71,14 @@ for ty in $BUILD_TYPES; do
       ctest --test-dir "$dir" --output-on-failure -j"$JOBS"
   done
 
+  # Forced-scalar leg: the whole suite must pass with every dispatched
+  # kernel pinned to its scalar reference (DESIGN.md §13). This keeps the
+  # fallback path — the one a CPU without AVX2 actually runs — exercised
+  # by more than the dedicated *_scalar_backend re-runs.
+  echo "==== [3/4] ctest ($ty, FEKF_KERNEL_BACKEND=scalar)"
+  FEKF_KERNEL_BACKEND=scalar \
+    ctest --test-dir "$dir" --output-on-failure -j"$JOBS"
+
   if [ "$ty" = release ]; then
     echo "==== [4/4] perf/launch/allocation budgets ($ty)"
     "./$dir/bench/bench_fig7bc_kernels" \
@@ -72,7 +86,8 @@ for ty in $BUILD_TYPES; do
     "./$dir/bench/bench_fusion" --json "$ARTIFACTS/fusion.json"
     python3 ci/check_budgets.py \
       --fig7bc "$ARTIFACTS/fig7bc_kernels.json" \
-      --fusion "$ARTIFACTS/fusion.json"
+      --fusion "$ARTIFACTS/fusion.json" \
+      --kernels-doc docs/KERNELS.md
     python3 ci/check_budgets.py \
       --fig7bc "$ARTIFACTS/fig7bc_kernels.json" \
       --fusion "$ARTIFACTS/fusion.json" --self-test

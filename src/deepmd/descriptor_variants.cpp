@@ -1,0 +1,105 @@
+// "desc_contract_f32" variants: one atom block of the descriptor tail
+// D = A·(A^<)ᵀ in desc_d_kernel (DESIGN.md §13) — m·m_axis f64 inner
+// products of length q over f32 data.
+//
+// Like the EKF reductions, the inner product is a serial f64 chain in the
+// scalar reference, so the simd/avx2 variants split it across accumulators
+// and are TOLERANCE class: max |variant - scalar| <= tolerance · Σ|terms|
+// per output element, asserted in tests/test_dispatch.cpp. The f64
+// partials almost always round to the same f32, so the observed error is
+// usually exactly zero — the bound covers the last-ulp flips.
+#include "deepmd/descriptor_variants.hpp"
+
+#include "tensor/dispatch.hpp"
+#include "tensor/variants/variants.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace fekf::dispatch {
+
+namespace {
+
+constexpr f64 kDescTol = 1e-6;  // f32 output: one ulp of mass dominates
+
+/// Reference body — the bmm_nt-ordered loop desc_d_kernel always ran.
+void desc_scalar(const f32* ab, f32* ob, i64 m, i64 m_axis, i64 q) {
+  for (i64 i = 0; i < m; ++i) {
+    for (i64 j = 0; j < m_axis; ++j) {
+      f64 acc = 0.0;
+      for (i64 l = 0; l < q; ++l) {
+        acc += static_cast<f64>(ab[i * q + l]) * ab[j * q + l];
+      }
+      ob[i * m_axis + j] = static_cast<f32>(acc);
+    }
+  }
+}
+
+void desc_simd(const f32* ab, f32* ob, i64 m, i64 m_axis, i64 q) {
+  for (i64 i = 0; i < m; ++i) {
+    for (i64 j = 0; j < m_axis; ++j) {
+      f64 acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+      for (i64 l = 0; l < q; ++l) {
+        acc += static_cast<f64>(ab[i * q + l]) * ab[j * q + l];
+      }
+      ob[i * m_axis + j] = static_cast<f32>(acc);
+    }
+  }
+}
+
+#if defined(__AVX2__) && defined(__FMA__)
+/// Two 4-lane f64 accumulators over cvtps_pd-widened f32 loads.
+void desc_avx2(const f32* ab, f32* ob, i64 m, i64 m_axis, i64 q) {
+  const i64 q8 = q - (q % 8);
+  for (i64 i = 0; i < m; ++i) {
+    const f32* __restrict__ arow = ab + i * q;
+    for (i64 j = 0; j < m_axis; ++j) {
+      const f32* __restrict__ brow = ab + j * q;
+      __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
+      for (i64 l = 0; l < q8; l += 8) {
+        a0 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm_loadu_ps(arow + l)),
+                             _mm256_cvtps_pd(_mm_loadu_ps(brow + l)), a0);
+        a1 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm_loadu_ps(arow + l + 4)),
+                             _mm256_cvtps_pd(_mm_loadu_ps(brow + l + 4)), a1);
+      }
+      const __m256d s = _mm256_add_pd(a0, a1);
+      alignas(32) f64 lane[4];
+      _mm256_store_pd(lane, s);
+      f64 acc = ((lane[0] + lane[1]) + (lane[2] + lane[3]));
+      for (i64 l = q8; l < q; ++l) {
+        acc += static_cast<f64>(arow[l]) * brow[l];
+      }
+      ob[i * m_axis + j] = static_cast<f32>(acc);
+    }
+  }
+}
+#endif
+
+}  // namespace
+
+void register_desc_variants() {
+  static const bool once = [] {
+    Registry& r = Registry::instance();
+    r.add({"desc_contract_f32", "scalar", Level::kScalar, "generic", true,
+           Exactness::kBitExact, 0.0, 0,
+           reinterpret_cast<void*>(&desc_scalar),
+           "reference bmm_nt-ordered f64 inner products"});
+    r.add({"desc_contract_f32", "simd", Level::kSimd, "generic", true,
+           Exactness::kTolerance, kDescTol, 10,
+           reinterpret_cast<void*>(&desc_simd),
+           "omp-simd reduction; bound relative to element mass Σ|aᵢ·bᵢ|"});
+#if defined(__AVX2__) && defined(__FMA__)
+    r.add({"desc_contract_f32", "avx2", Level::kAvx2, "avx2+fma", true,
+           Exactness::kTolerance, kDescTol, 20,
+           reinterpret_cast<void*>(&desc_avx2),
+           "8-way widened f64 FMA accumulators; bound relative to element "
+           "mass"});
+#endif
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace fekf::dispatch

@@ -1,0 +1,12 @@
+// Registration hook for the "desc_contract_f32" dispatch family
+// (DESIGN.md §13). Lives in src/deepmd — the tensor-level registry cannot
+// name descriptor kernels without inverting the layering — and is invoked
+// lazily by the Dispatched<> handle in fused_descriptor.cpp (and by tests
+// that enumerate every family).
+#pragma once
+
+namespace fekf::dispatch {
+
+void register_desc_variants();
+
+}  // namespace fekf::dispatch

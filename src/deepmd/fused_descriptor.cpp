@@ -4,8 +4,11 @@
 
 #include "autograd/ops.hpp"
 #include "deepmd/bmm.hpp"
+#include "deepmd/descriptor_variants.hpp"
 #include "parallel/thread_pool.hpp"
+#include "tensor/dispatch.hpp"
 #include "tensor/kernel_counter.hpp"
+#include "tensor/variants/variants.hpp"
 
 namespace fekf::deepmd {
 
@@ -93,21 +96,16 @@ Tensor desc_d_kernel(const Tensor& a, i64 m, i64 m_axis) {
   Tensor out(nb * m, m_axis);
   const f32* __restrict__ pa = a.data();
   f32* __restrict__ po = out.data();
+  // Per-block body (bmm_nt's f64 inner products) via the dispatch registry;
+  // resolved before the parallel region, block partition unchanged.
+  static dispatch::Dispatched<dispatch::DescContractFn> dispatched(
+      "desc_contract_f32", &dispatch::register_desc_variants);
+  const dispatch::DescContractFn fn = dispatched.get();
   parallel_for_blocks(
       0, nb,
       [&](i64 blo, i64 bhi) {
         for (i64 b = blo; b < bhi; ++b) {
-          const f32* __restrict__ ab = pa + b * m * q;
-          f32* __restrict__ ob = po + b * m * m_axis;
-          for (i64 i = 0; i < m; ++i) {
-            for (i64 j = 0; j < m_axis; ++j) {
-              f64 acc = 0.0;  // bmm_nt's f64 inner product
-              for (i64 l = 0; l < q; ++l) {
-                acc += static_cast<f64>(ab[i * q + l]) * ab[j * q + l];
-              }
-              ob[i * m_axis + j] = static_cast<f32>(acc);
-            }
-          }
+          fn(pa + b * m * q, po + b * m * m_axis, m, m_axis, q);
         }
       },
       grain_items(m * m_axis * q));

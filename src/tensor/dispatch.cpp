@@ -1,0 +1,180 @@
+#include "tensor/dispatch.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/log.hpp"
+
+namespace fekf::dispatch {
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kSimd: return "simd";
+    case Level::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+const char* exactness_name(Exactness e) {
+  return e == Exactness::kBitExact ? "bit_exact" : "tolerance";
+}
+
+const CpuFeatures& detected_cpu_features() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+    // GCC/Clang builtin cpuid probes; safe on any x86 at runtime.
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.fma = __builtin_cpu_supports("fma");
+#endif
+    return f;
+  }();
+  return features;
+}
+
+bool Registry::parse_backend(std::string_view text,
+                             std::optional<Level>* out) {
+  if (text.empty() || text == "auto") {
+    *out = std::nullopt;
+    return true;
+  }
+  for (Level level : {Level::kScalar, Level::kSimd, Level::kAvx2}) {
+    if (text == level_name(level)) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+Registry::Registry() : detected_(detected_cpu_features()) {
+  if (const char* env = std::getenv("FEKF_KERNEL_BACKEND")) {
+    if (!parse_backend(env, &requested_)) {
+      // Unknown names degrade to auto — an env typo must not abort
+      // training, and auto is the always-safe bit-exact policy.
+      FEKF_WARN << "FEKF_KERNEL_BACKEND='" << env
+                << "' is not scalar|simd|avx2|auto; using auto";
+      requested_ = std::nullopt;
+    }
+  }
+}
+
+Registry& Registry::instance() {
+  // Leaked intentionally: process lifetime. Deliberately does NOT run the
+  // family registration hooks here: the hooks call back into instance(),
+  // and running them inside this function's static initialization would
+  // re-enter the init guard on the same thread (futex deadlock).
+  // Registration is the consumers' job — every Dispatched handle runs its
+  // family's hook in its constructor, and tests/benches call the hooks
+  // explicitly before enumerating the registry.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+void Registry::add(Variant v) {
+  FEKF_CHECK(!v.kernel.empty() && !v.name.empty() && v.fn != nullptr,
+             "dispatch variant registration needs kernel, name and fn");
+  FEKF_CHECK((v.exactness == Exactness::kBitExact) == (v.tolerance == 0.0),
+             "dispatch variant " + v.kernel + "/" + v.name +
+                 ": tolerance must be 0 iff bit_exact");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Variant& existing : variants_) {
+    if (existing.kernel == v.kernel && existing.name == v.name) {
+      existing = std::move(v);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+      return;
+    }
+  }
+  variants_.push_back(std::move(v));
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool Registry::eligible(const Variant& v, CpuFeatures features,
+                        std::optional<Level> requested) const {
+  if (!v.compiled) return false;
+  if (v.isa == "avx2+fma" && !(features.avx2 && features.fma)) return false;
+  if (requested.has_value()) {
+    // Forced ladder level: anything at or below, tolerance included.
+    return v.level <= *requested;
+  }
+  // Auto: fastest BIT-EXACT variant — the default never moves numerics.
+  return v.exactness == Exactness::kBitExact;
+}
+
+Variant Registry::selected(const std::string& kernel) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const CpuFeatures features = features_override_.value_or(detected_);
+  const Variant* best = nullptr;
+  for (const Variant& v : variants_) {
+    if (v.kernel != kernel) continue;
+    if (!eligible(v, features, requested_)) continue;
+    if (best == nullptr || v.priority > best->priority ||
+        (v.priority == best->priority &&
+         static_cast<int>(v.level) > static_cast<int>(best->level))) {
+      best = &v;
+    }
+  }
+  FEKF_CHECK(best != nullptr,
+             "dispatch: no eligible variant for kernel '" + kernel +
+                 "' (scalar must always be registered)");
+  return *best;
+}
+
+const std::optional<Variant> Registry::find(const std::string& kernel,
+                                            const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Variant& v : variants_) {
+    if (v.kernel == kernel && v.name == name) return v;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Registry::kernels() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const Variant& v : variants_) {
+    if (std::find(names.begin(), names.end(), v.kernel) == names.end()) {
+      names.push_back(v.kernel);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<Variant> Registry::variants(const std::string& kernel) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Variant> out;
+  for (const Variant& v : variants_) {
+    if (v.kernel == kernel) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end(), [](const Variant& a, const Variant& b) {
+    return a.priority < b.priority;
+  });
+  return out;
+}
+
+std::optional<Level> Registry::requested() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return requested_;
+}
+
+void Registry::set_backend(std::optional<Level> forced) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  requested_ = forced;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Registry::set_cpu_features_for_test(
+    std::optional<CpuFeatures> features) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  features_override_ = features;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+CpuFeatures Registry::cpu_features() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return features_override_.value_or(detected_);
+}
+
+}  // namespace fekf::dispatch

@@ -5,7 +5,9 @@
 #include <cstring>
 
 #include "parallel/thread_pool.hpp"
+#include "tensor/dispatch.hpp"
 #include "tensor/kernel_counter.hpp"
+#include "tensor/variants/variants.hpp"
 
 // Threading (DESIGN.md "Threading & determinism"): every kernel below
 // parallelizes over an output partition whose elements are written by
@@ -14,10 +16,45 @@
 // one scalar go through parallel_reduce_f64, whose fixed chunking pins the
 // combine order independently of the width. Grain sizes follow the
 // kGrainWork policy: unit-test-sized tensors run serial.
+//
+// Hot kernels route their inner bodies through the dispatch registry
+// (DESIGN.md §13): the handle resolves the selected variant on the calling
+// thread BEFORE the parallel region, and the partition/launch structure is
+// unchanged — only the per-panel/per-chunk body varies by backend.
 
 namespace fekf::kernels {
 
 namespace {
+
+dispatch::Dispatched<dispatch::GemmPanelFn>& gemm_dispatch() {
+  static dispatch::Dispatched<dispatch::GemmPanelFn> d(
+      "gemm_f32", &dispatch::register_gemm_variants);
+  return d;
+}
+
+dispatch::Dispatched<dispatch::TanhChunkFn>& tanh_dispatch() {
+  static dispatch::Dispatched<dispatch::TanhChunkFn> d(
+      "tanh_f32", &dispatch::register_tanh_variants);
+  return d;
+}
+
+dispatch::Dispatched<dispatch::SymvPanelFn>& symv_dispatch() {
+  static dispatch::Dispatched<dispatch::SymvPanelFn> d(
+      "ekf_symv_f64", &dispatch::register_ekf_variants);
+  return d;
+}
+
+dispatch::Dispatched<dispatch::DotChunkFn>& dot_dispatch() {
+  static dispatch::Dispatched<dispatch::DotChunkFn> d(
+      "ekf_dot_f64", &dispatch::register_ekf_variants);
+  return d;
+}
+
+dispatch::Dispatched<dispatch::Rank1PanelFn>& rank1_dispatch() {
+  static dispatch::Dispatched<dispatch::Rank1PanelFn> d(
+      "ekf_rank1_f64", &dispatch::register_ekf_variants);
+  return d;
+}
 
 void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
   FEKF_CHECK(a.same_shape(b), std::string(op) + ": shape mismatch " +
@@ -84,7 +121,15 @@ Tensor add_scalar(const Tensor& a, f32 alpha) {
 }
 
 Tensor tanh(const Tensor& a) {
-  return elementwise1(a, "tanh", [](f32 x) { return std::tanh(x); });
+  KernelLaunch launch("tanh");
+  const dispatch::TanhChunkFn fn = tanh_dispatch().get();
+  Tensor out(a.rows(), a.cols());
+  const f32* pa = a.data();
+  f32* po = out.data();
+  parallel_for_blocks(
+      0, a.numel(),
+      [&](i64 lo, i64 hi) { fn(pa + lo, po + lo, hi - lo); }, kGrainWork);
+  return out;
 }
 
 Tensor tanh_backward(const Tensor& grad_y, const Tensor& y) {
@@ -96,22 +141,17 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   FEKF_CHECK(a.cols() == b.rows(), "matmul: inner dims " + a.shape_str() +
                                        " * " + b.shape_str());
   KernelLaunch launch("matmul");
+  const dispatch::GemmPanelFn fn = gemm_dispatch().get();
   const i64 m = a.rows(), k = a.cols(), n = b.cols();
-  Tensor out = Tensor::zeros(m, n);
+  Tensor out(m, n);
   const f32* __restrict__ pa = a.data();
   const f32* __restrict__ pb = b.data();
   f32* __restrict__ po = out.data();
   parallel_for_blocks(
       0, m,
       [&](i64 rlo, i64 rhi) {
-        for (i64 i = rlo; i < rhi; ++i) {
-          for (i64 l = 0; l < k; ++l) {
-            const f32 av = pa[i * k + l];
-            const f32* __restrict__ brow = pb + l * n;
-            f32* __restrict__ orow = po + i * n;
-            for (i64 j = 0; j < n; ++j) orow[j] += av * brow[j];
-          }
-        }
+        // nullptr bias => the variant seeds output rows with zeros.
+        fn(pa, pb, nullptr, po, rlo, rhi, k, n);
       },
       grain_items(k * n));
   return out;
@@ -252,6 +292,7 @@ Tensor linear_fused(const Tensor& x, const Tensor& w, const Tensor& bias) {
              "linear_fused: " + x.shape_str() + " * " + w.shape_str() + " + " +
                  bias.shape_str());
   KernelLaunch launch("linear_fused");
+  const dispatch::GemmPanelFn fn = gemm_dispatch().get();
   const i64 m = x.rows(), k = x.cols(), n = w.cols();
   Tensor out(m, n);
   const f32* __restrict__ px = x.data();
@@ -260,18 +301,7 @@ Tensor linear_fused(const Tensor& x, const Tensor& w, const Tensor& bias) {
   f32* __restrict__ po = out.data();
   parallel_for_blocks(
       0, m,
-      [&](i64 rlo, i64 rhi) {
-        for (i64 i = rlo; i < rhi; ++i) {
-          f32* __restrict__ orow = po + i * n;
-          std::memcpy(orow, pb, static_cast<std::size_t>(n) * sizeof(f32));
-          const f32* __restrict__ xrow = px + i * k;
-          for (i64 l = 0; l < k; ++l) {
-            const f32 xv = xrow[l];
-            const f32* __restrict__ wrow = pw + l * n;
-            for (i64 j = 0; j < n; ++j) orow[j] += xv * wrow[j];
-          }
-        }
-      },
+      [&](i64 rlo, i64 rhi) { fn(px, pw, pb, po, rlo, rhi, k, n); },
       grain_items(k * n));
   return out;
 }
@@ -281,6 +311,8 @@ Tensor linear_tanh(const Tensor& x, const Tensor& w, const Tensor& bias) {
              "linear_tanh: " + x.shape_str() + " * " + w.shape_str() + " + " +
                  bias.shape_str());
   KernelLaunch launch("linear_tanh");
+  const dispatch::GemmPanelFn gemm_fn = gemm_dispatch().get();
+  const dispatch::TanhChunkFn tanh_fn = tanh_dispatch().get();
   const i64 m = x.rows(), k = x.cols(), n = w.cols();
   Tensor out(m, n);
   const f32* __restrict__ px = x.data();
@@ -290,19 +322,11 @@ Tensor linear_tanh(const Tensor& x, const Tensor& w, const Tensor& bias) {
   parallel_for_blocks(
       0, m,
       [&](i64 rlo, i64 rhi) {
-        for (i64 i = rlo; i < rhi; ++i) {
-          // Same bias-then-ascending-l accumulation as linear_fused, then
-          // tanh in place: bit-identical to tanh(linear_fused(...)).
-          f32* __restrict__ orow = po + i * n;
-          std::memcpy(orow, pb, static_cast<std::size_t>(n) * sizeof(f32));
-          const f32* __restrict__ xrow = px + i * k;
-          for (i64 l = 0; l < k; ++l) {
-            const f32 xv = xrow[l];
-            const f32* __restrict__ wrow = pw + l * n;
-            for (i64 j = 0; j < n; ++j) orow[j] += xv * wrow[j];
-          }
-          for (i64 j = 0; j < n; ++j) orow[j] = std::tanh(orow[j]);
-        }
+        // Same bias-then-ascending-l accumulation as linear_fused, then
+        // tanh in place over the panel: per variant, bit-identical to
+        // tanh(linear_fused(...)).
+        gemm_fn(px, pw, pb, po, rlo, rhi, k, n);
+        tanh_fn(po + rlo * n, po + rlo * n, (rhi - rlo) * n);
       },
       grain_items(k * n));
   return out;
@@ -544,33 +568,24 @@ void symv(std::span<const f64> p, std::span<const f64> g, std::span<f64> y,
                  static_cast<i64>(y.size()) == n,
              "symv size mismatch");
   KernelLaunch launch("ekf_symv");
+  const dispatch::SymvPanelFn fn = symv_dispatch().get();
   const f64* __restrict__ pp = p.data();
   const f64* __restrict__ pg = g.data();
   f64* __restrict__ py = y.data();
   parallel_for_blocks(
-      0, n,
-      [&](i64 rlo, i64 rhi) {
-        for (i64 i = rlo; i < rhi; ++i) {
-          const f64* __restrict__ row = pp + i * n;
-          f64 acc = 0.0;
-          for (i64 j = 0; j < n; ++j) acc += row[j] * pg[j];
-          py[i] = acc;
-        }
-      },
+      0, n, [&](i64 rlo, i64 rhi) { fn(pp, pg, py, rlo, rhi, n); },
       grain_items(n));
 }
 
 f64 dot(std::span<const f64> a, std::span<const f64> b) {
   FEKF_CHECK(a.size() == b.size(), "dot size mismatch");
   KernelLaunch launch("ekf_dot");
+  const dispatch::DotChunkFn fn = dot_dispatch().get();
   const f64* pa = a.data();
   const f64* pb = b.data();
-  return parallel_reduce_f64(0, static_cast<i64>(a.size()), kReduceChunk,
-                             [pa, pb](i64 lo, i64 hi) {
-                               f64 s = 0.0;
-                               for (i64 i = lo; i < hi; ++i) s += pa[i] * pb[i];
-                               return s;
-                             });
+  return parallel_reduce_f64(
+      0, static_cast<i64>(a.size()), kReduceChunk,
+      [pa, pb, fn](i64 lo, i64 hi) { return fn(pa, pb, lo, hi); });
 }
 
 void axpy(f64 alpha, std::span<const f64> x, std::span<f64> y) {
@@ -632,28 +647,19 @@ void p_update_fused(std::span<f64> p, std::span<const f64> k, f64 inv_a,
                  static_cast<i64>(k.size()) == n,
              "p_update_fused size mismatch");
   KernelLaunch launch("ekf_p_update_fused");
+  const dispatch::Rank1PanelFn fn = rank1_dispatch().get();
   f64* __restrict__ pp = p.data();
   const f64* __restrict__ pk = k.data();
   const f64 inv_lambda = 1.0 / lambda;
   // Row panels over the upper triangle. The task owning row i touches
   // exactly the element pairs {(i,j), (j,i)} for j >= i, and no other task
   // reads or writes them, so the panels are disjoint and the result is
-  // independent of the panel-to-thread assignment.
+  // independent of the panel-to-thread assignment. The panel body —
+  // (P - (1/a) k k^T)/lambda with symmetrization folded in by averaging the
+  // (i,j)/(j,i) pair — is the dispatched ekf_rank1_f64 variant, shared with
+  // ekf_apply_fused so fused and legacy EKF agree under any backend.
   parallel_for_blocks(
-      0, n,
-      [&](i64 rlo, i64 rhi) {
-        for (i64 i = rlo; i < rhi; ++i) {
-          const f64 ki_scaled = inv_a * pk[i];
-          for (i64 j = i; j < n; ++j) {
-            // (P - (1/a) k k^T)/lambda on the upper triangle; symmetrization
-            // is folded in by averaging the (i,j)/(j,i) pair of the current P.
-            const f64 pij = 0.5 * (pp[i * n + j] + pp[j * n + i]);
-            const f64 v = (pij - ki_scaled * pk[j]) * inv_lambda;
-            pp[i * n + j] = v;
-            pp[j * n + i] = v;
-          }
-        }
-      },
+      0, n, [&](i64 rlo, i64 rhi) { fn(pp, pk, inv_a, inv_lambda, rlo, rhi, n); },
       grain_items(n));  // ~n/2 ops per row on average; panels rebalance
 }
 
@@ -684,28 +690,22 @@ f64 ekf_gain_fused(std::span<const f64> p, std::span<const f64> g,
                  static_cast<i64>(y.size()) == n,
              "ekf_gain_fused size mismatch");
   KernelLaunch launch("ekf_gain_fused");
+  const dispatch::SymvPanelFn symv_fn = symv_dispatch().get();
+  const dispatch::DotChunkFn dot_fn = dot_dispatch().get();
   const f64* __restrict__ pp = p.data();
   const f64* __restrict__ pg = g.data();
   f64* __restrict__ py = y.data();
-  // Pass 1: y = P g, row-partitioned exactly like symv.
+  // Pass 1: y = P g, row-partitioned exactly like symv — same dispatched
+  // panel body, so the fused path matches symv() under any backend.
   parallel_for_blocks(
-      0, n,
-      [&](i64 rlo, i64 rhi) {
-        for (i64 i = rlo; i < rhi; ++i) {
-          const f64* __restrict__ row = pp + i * n;
-          f64 acc = 0.0;
-          for (i64 j = 0; j < n; ++j) acc += row[j] * pg[j];
-          py[i] = acc;
-        }
-      },
+      0, n, [&](i64 rlo, i64 rhi) { symv_fn(pp, pg, py, rlo, rhi, n); },
       grain_items(n));
-  // Pass 2 (same launch): g^T (P g) with dot()'s fixed-chunk reduction, so
-  // the scalar is bit-identical to the unfused symv-then-dot sequence.
-  return parallel_reduce_f64(0, n, kReduceChunk, [pg, py](i64 lo, i64 hi) {
-    f64 s = 0.0;
-    for (i64 i = lo; i < hi; ++i) s += pg[i] * py[i];
-    return s;
-  });
+  // Pass 2 (same launch): g^T (P g) with dot()'s fixed-chunk reduction and
+  // dot()'s dispatched chunk body, so the scalar is bit-identical to the
+  // unfused symv-then-dot sequence per backend.
+  return parallel_reduce_f64(
+      0, n, kReduceChunk,
+      [pg, py, dot_fn](i64 lo, i64 hi) { return dot_fn(pg, py, lo, hi); });
 }
 
 f64 ekf_apply_fused(std::span<f64> p, std::span<const f64> k, f64 a,
@@ -716,6 +716,7 @@ f64 ekf_apply_fused(std::span<f64> p, std::span<const f64> k, f64 a,
                  static_cast<i64>(w.size()) == n,
              "ekf_apply_fused size mismatch");
   KernelLaunch launch("ekf_apply_fused");
+  const dispatch::Rank1PanelFn fn = rank1_dispatch().get();
   f64* __restrict__ pp = p.data();
   const f64* __restrict__ pk = k.data();
   f64* __restrict__ pw = w.data();
@@ -724,19 +725,16 @@ f64 ekf_apply_fused(std::span<f64> p, std::span<const f64> k, f64 a,
   // touches exactly {(i,j), (j,i) : j >= i}, the diagonal (i,i), and w[i],
   // so panels are disjoint and results are width-independent. Per element
   // the arithmetic replays the unfused sequence verbatim: pair-averaged
-  // rank-1 update, then the additive noise on the diagonal, then the
-  // axpy-style weight step.
+  // rank-1 update (the dispatched ekf_rank1_f64 body shared with
+  // p_update_fused — running it for the whole panel before the diagonal
+  // pass below is legal because no rank-1 element the panel touches is a
+  // diagonal of another row), then the additive noise on the diagonal,
+  // then the axpy-style weight step.
   parallel_for_blocks(
       0, n,
       [&](i64 rlo, i64 rhi) {
+        fn(pp, pk, a, inv_lambda, rlo, rhi, n);
         for (i64 i = rlo; i < rhi; ++i) {
-          const f64 ki_scaled = a * pk[i];
-          for (i64 j = i; j < n; ++j) {
-            const f64 pij = 0.5 * (pp[i * n + j] + pp[j * n + i]);
-            const f64 v = (pij - ki_scaled * pk[j]) * inv_lambda;
-            pp[i * n + j] = v;
-            pp[j * n + i] = v;
-          }
           pp[i * n + i] += process_noise;
           pw[i] += step_scale * pk[i];
         }

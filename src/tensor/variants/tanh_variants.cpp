@@ -1,0 +1,101 @@
+// "tanh_f32" variants: the elementwise chunk body behind tanh() and the
+// activation half of linear_tanh_fused (DESIGN.md §13).
+//
+// The scalar reference calls std::tanh per element. Vectorizing tanh means
+// replacing libm with a polynomial, which cannot be bit_exact — the avx2
+// variant is the one TOLERANCE-class variant whose bound is absolute
+// (|tanh| <= 1): max |variant - scalar| <= tolerance, asserted over dense
+// and near-zero inputs in tests/test_dispatch.cpp.
+//
+// The avx2 body evaluates tanh(x) = u / (u + 2) with u = e^{2x} - 1
+// computed expm1-style (split 2^n·e^r - 1 = 2^n·(e^r - 1) + (2^n - 1)) so
+// the u ≈ 2x regime near zero keeps full relative accuracy instead of
+// cancelling in (e^{2x} - 1).
+#include <cmath>
+
+#include "tensor/dispatch.hpp"
+#include "tensor/variants/variants.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace fekf::dispatch {
+
+namespace {
+
+/// Reference body — std::tanh per element, the loop tanh() always ran.
+void tanh_scalar(const f32* x, f32* y, i64 count) {
+  for (i64 i = 0; i < count; ++i) y[i] = std::tanh(x[i]);
+}
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+constexpr f32 kTanhAvx2Tol = 4e-6f;  // absolute; asserted by test_dispatch
+
+inline __m256 expm1_ps(__m256 z) {
+  // z = n*ln2 + r with |r| <= ln2/2; callers clamp so |n| <= 27.
+  const __m256 log2e = _mm256_set1_ps(1.44269504f);
+  const __m256 ln2_hi = _mm256_set1_ps(0.693359375f);
+  const __m256 ln2_lo = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 nf = _mm256_round_ps(
+      _mm256_mul_ps(z, log2e), _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256 r = _mm256_fnmadd_ps(nf, ln2_hi, z);
+  r = _mm256_fnmadd_ps(nf, ln2_lo, r);
+
+  // e^r - 1 = r + r^2 * q(r), q = 1/2 + r/6 + ... + r^5/5040 (Horner/FMA).
+  __m256 q = _mm256_set1_ps(1.98412698e-4f);           // 1/5040
+  q = _mm256_fmadd_ps(q, r, _mm256_set1_ps(1.38888889e-3f));   // 1/720
+  q = _mm256_fmadd_ps(q, r, _mm256_set1_ps(8.33333377e-3f));   // 1/120
+  q = _mm256_fmadd_ps(q, r, _mm256_set1_ps(4.16666679e-2f));   // 1/24
+  q = _mm256_fmadd_ps(q, r, _mm256_set1_ps(1.66666667e-1f));   // 1/6
+  q = _mm256_fmadd_ps(q, r, _mm256_set1_ps(0.5f));
+  const __m256 p = _mm256_fmadd_ps(_mm256_mul_ps(r, r), q, r);  // e^r - 1
+
+  // 2^n via exponent-field construction (n is clamped well inside range).
+  const __m256i n = _mm256_cvtps_epi32(nf);
+  const __m256 two_n = _mm256_castsi256_ps(
+      _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23));
+  const __m256 two_n_m1 = _mm256_sub_ps(two_n, _mm256_set1_ps(1.0f));
+  return _mm256_fmadd_ps(two_n, p, two_n_m1);  // 2^n(e^r-1) + (2^n-1)
+}
+
+inline __m256 tanh_ps(__m256 x) {
+  // |x| >= 9.01 already rounds to ±1 in f32; clamping also bounds n.
+  const __m256 hi = _mm256_set1_ps(9.01f);
+  const __m256 xc =
+      _mm256_max_ps(_mm256_min_ps(x, hi), _mm256_sub_ps(_mm256_setzero_ps(), hi));
+  const __m256 u = expm1_ps(_mm256_add_ps(xc, xc));  // e^{2x} - 1
+  return _mm256_div_ps(u, _mm256_add_ps(u, _mm256_set1_ps(2.0f)));
+}
+
+void tanh_avx2(const f32* x, f32* y, i64 count) {
+  const i64 c8 = count - (count % 8);
+  for (i64 i = 0; i < c8; i += 8) {
+    _mm256_storeu_ps(y + i, tanh_ps(_mm256_loadu_ps(x + i)));
+  }
+  for (i64 i = c8; i < count; ++i) y[i] = std::tanh(x[i]);
+}
+#endif
+
+}  // namespace
+
+void register_tanh_variants() {
+  static const bool once = [] {
+    Registry& r = Registry::instance();
+    r.add({"tanh_f32", "scalar", Level::kScalar, "generic", true,
+           Exactness::kBitExact, 0.0, 0,
+           reinterpret_cast<void*>(&tanh_scalar), "std::tanh per element"});
+#if defined(__AVX2__) && defined(__FMA__)
+    r.add({"tanh_f32", "avx2", Level::kAvx2, "avx2+fma", true,
+           Exactness::kTolerance, static_cast<f64>(kTanhAvx2Tol), 20,
+           reinterpret_cast<void*>(&tanh_avx2),
+           "8-lane expm1-style polynomial, tanh = u/(u+2); absolute bound "
+           "(|tanh| <= 1)"});
+#endif
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace fekf::dispatch

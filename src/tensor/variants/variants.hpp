@@ -1,0 +1,66 @@
+// Dispatched kernel-family signatures and their registration hooks
+// (DESIGN.md §13). Each family is the INNER BODY of a hot kernel in
+// tensor/kernels.cpp: a per-panel or per-chunk function invoked from the
+// same parallel_for partitions the kernel always used, so thread-width
+// determinism (§9) is a property of the variant body alone.
+//
+// The name passed to dispatch::Registry keys the function-pointer type by
+// convention:
+//
+//   "gemm_f32"          GemmPanelFn      row panel of out = seed + x·W
+//   "tanh_f32"          TanhChunkFn      elementwise tanh over a flat chunk
+//   "ekf_symv_f64"      SymvPanelFn      row panel of y = P·g
+//   "ekf_dot_f64"       DotChunkFn       partial <a,b> over one reduce chunk
+//   "ekf_rank1_f64"     Rank1PanelFn     row panel of the pair-averaged
+//                                        symmetric rank-1 P update
+//   "desc_contract_f32" DescContractFn   one block of D = A·(A^<)ᵀ
+//                                        (registered by src/deepmd)
+#pragma once
+
+#include "core/common.hpp"
+
+namespace fekf::dispatch {
+
+// ---- family signatures ----------------------------------------------------
+
+/// Rows [rlo, rhi) of out(m, n) = seed + x(m, k) · w(k, n), where seed is
+/// the broadcast `bias` row (linear layers) or zeros (`bias == nullptr`,
+/// plain matmul). Accumulates over ascending l into the output row — the
+/// matmul/linear_fused reference order.
+using GemmPanelFn = void (*)(const f32* x, const f32* w, const f32* bias,
+                             f32* out, i64 rlo, i64 rhi, i64 k, i64 n);
+
+/// y[i] = tanh(x[i]) for i in [0, count). In-place allowed (y == x).
+using TanhChunkFn = void (*)(const f32* x, f32* y, i64 count);
+
+/// Rows [rlo, rhi) of y = P·g for symmetric P(n, n): one ascending-j inner
+/// product per row.
+using SymvPanelFn = void (*)(const f64* p, const f64* g, f64* y, i64 rlo,
+                             i64 rhi, i64 n);
+
+/// Partial sum of a[i]*b[i] over [lo, hi) — one parallel_reduce_f64 chunk.
+/// Chunk partials are combined by the caller in fixed ascending order.
+using DotChunkFn = f64 (*)(const f64* a, const f64* b, i64 lo, i64 hi);
+
+/// Rows [rlo, rhi) of the symmetric rank-1 covariance update: for j >= i,
+///   v = (0.5*(P[i,j] + P[j,i]) - (coeff*k[i])*k[j]) * inv_lambda
+/// written to both (i,j) and (j,i). The task owning row i touches exactly
+/// the pairs {(i,j), (j,i) : j >= i}, so panels stay disjoint (§9).
+using Rank1PanelFn = void (*)(f64* p, const f64* k, f64 coeff, f64 inv_lambda,
+                              i64 rlo, i64 rhi, i64 n);
+
+/// One atom block of the descriptor tail D = A·(A^<)ᵀ: for i < m,
+/// j < m_axis, ob[i, j] = sum_l ab[i, l] * ab[j, l] with an f64
+/// accumulator (the bmm_nt reference order).
+using DescContractFn = void (*)(const f32* ab, f32* ob, i64 m, i64 m_axis,
+                                i64 q);
+
+// ---- registration hooks ---------------------------------------------------
+// Idempotent; invoked by the Dispatched<> handles guarding each call site
+// (and by Registry::instance() for the tensor-local families).
+
+void register_gemm_variants();
+void register_tanh_variants();
+void register_ekf_variants();
+
+}  // namespace fekf::dispatch

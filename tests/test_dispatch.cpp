@@ -1,0 +1,496 @@
+// Kernel-dispatch registry and the per-variant exactness contract
+// (DESIGN.md §13, docs/KERNELS.md).
+//
+// The contract these tests enforce: every registered variant DECLARES its
+// exactness class, and the declaration is asserted, not assumed —
+//   * bit_exact variants must match the scalar reference byte for byte
+//     (memcmp), at thread widths 1 and 4;
+//   * tolerance variants must stay within their declared bound of the
+//     scalar result, measured against the family's error yardstick
+//     (absolute for tanh, whose outputs live in [-1, 1]; relative to the
+//     reduction mass Σ|terms| for the f64/f32 reductions);
+// plus the selection policy: auto picks only bit_exact variants, a forced
+// level picks within the ladder, and an unsupported ISA (injected via
+// set_cpu_features_for_test) falls back gracefully instead of failing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "deepmd/descriptor_variants.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/dispatch.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/variants/variants.hpp"
+
+namespace fekf {
+namespace {
+
+namespace dp = dispatch;
+
+/// All six families; registration hooks are idempotent.
+const std::vector<std::string>& all_families() {
+  dp::register_gemm_variants();
+  dp::register_tanh_variants();
+  dp::register_ekf_variants();
+  dp::register_desc_variants();
+  static const std::vector<std::string> families = {
+      "gemm_f32",     "tanh_f32",      "ekf_symv_f64",
+      "ekf_dot_f64",  "ekf_rank1_f64", "desc_contract_f32"};
+  return families;
+}
+
+struct BackendGuard {
+  ~BackendGuard() {
+    dp::Registry::instance().set_backend(std::nullopt);
+    dp::Registry::instance().set_cpu_features_for_test(std::nullopt);
+  }
+};
+
+struct WidthGuard {
+  ~WidthGuard() { set_num_threads(0); }
+};
+
+std::vector<f32> randn_f32(i64 count, u64 seed) {
+  Rng rng(seed);
+  Tensor t = Tensor::randn(1, count, rng);
+  return std::vector<f32>(t.data(), t.data() + count);
+}
+
+std::vector<f64> randn_f64(i64 count, u64 seed) {
+  Rng rng(seed);
+  Tensor t = Tensor::randn(1, count, rng);
+  std::vector<f64> out(static_cast<std::size_t>(count));
+  for (i64 i = 0; i < count; ++i) out[static_cast<std::size_t>(i)] = t.data()[i];
+  return out;
+}
+
+template <typename T>
+bool bytes_equal(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Registry policy
+// ---------------------------------------------------------------------------
+
+TEST(DispatchRegistry, EveryFamilyHasABitExactScalarFallback) {
+  auto& reg = dp::Registry::instance();
+  for (const std::string& family : all_families()) {
+    const auto scalar = reg.find(family, "scalar");
+    ASSERT_TRUE(scalar.has_value()) << family;
+    EXPECT_EQ(scalar->level, dp::Level::kScalar) << family;
+    EXPECT_EQ(scalar->exactness, dp::Exactness::kBitExact) << family;
+    EXPECT_EQ(scalar->tolerance, 0.0) << family;
+    EXPECT_EQ(scalar->isa, "generic") << family;
+    EXPECT_TRUE(scalar->compiled) << family;
+    EXPECT_GE(reg.variants(family).size(), 2u)
+        << family << ": expected at least one non-scalar variant";
+  }
+}
+
+TEST(DispatchRegistry, AutoSelectsOnlyBitExactVariants) {
+  BackendGuard guard;
+  auto& reg = dp::Registry::instance();
+  reg.set_backend(std::nullopt);
+  for (const std::string& family : all_families()) {
+    const dp::Variant v = reg.selected(family);
+    EXPECT_EQ(v.exactness, dp::Exactness::kBitExact)
+        << family << " selected tolerance-class '" << v.name
+        << "' under auto; the default must never move numerics";
+  }
+}
+
+TEST(DispatchRegistry, ForcedScalarSelectsTheReferenceEverywhere) {
+  BackendGuard guard;
+  auto& reg = dp::Registry::instance();
+  reg.set_backend(dp::Level::kScalar);
+  for (const std::string& family : all_families()) {
+    EXPECT_EQ(reg.selected(family).name, "scalar") << family;
+  }
+}
+
+TEST(DispatchRegistry, ForcedLevelNeverSelectsAboveTheLadder) {
+  BackendGuard guard;
+  auto& reg = dp::Registry::instance();
+  for (dp::Level level : {dp::Level::kScalar, dp::Level::kSimd,
+                          dp::Level::kAvx2}) {
+    reg.set_backend(level);
+    for (const std::string& family : all_families()) {
+      EXPECT_LE(static_cast<int>(reg.selected(family).level),
+                static_cast<int>(level))
+          << family << " at forced " << dp::level_name(level);
+    }
+  }
+}
+
+TEST(DispatchRegistry, UnsupportedIsaFallsBackGracefully) {
+  BackendGuard guard;
+  auto& reg = dp::Registry::instance();
+  // A CPU with neither AVX2 nor FMA: every avx2+fma variant is ineligible,
+  // and a forced avx2 request degrades to the best remaining variant
+  // instead of failing.
+  reg.set_cpu_features_for_test(dp::CpuFeatures{false, false});
+  reg.set_backend(dp::Level::kAvx2);
+  for (const std::string& family : all_families()) {
+    const dp::Variant v = reg.selected(family);
+    EXPECT_NE(v.isa, "avx2+fma") << family;
+  }
+  EXPECT_EQ(reg.selected("tanh_f32").name, "scalar");
+  EXPECT_EQ(reg.selected("ekf_symv_f64").name, "simd");
+}
+
+TEST(DispatchRegistry, ReRegistrationReplacesAndBumpsGeneration) {
+  auto& reg = dp::Registry::instance();
+  const auto base = reg.find("gemm_f32", "scalar");
+  ASSERT_TRUE(base.has_value());
+  const u64 gen0 = reg.generation();
+  dp::Variant probe = *base;
+  probe.kernel = "test_probe_kernel";
+  probe.name = "scalar";
+  probe.note = "first";
+  reg.add(probe);
+  EXPECT_GT(reg.generation(), gen0);
+  probe.note = "second";
+  reg.add(probe);
+  const auto found = reg.find("test_probe_kernel", "scalar");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->note, "second");
+  ASSERT_EQ(reg.variants("test_probe_kernel").size(), 1u);
+  EXPECT_EQ(reg.selected("test_probe_kernel").name, "scalar");
+}
+
+TEST(DispatchRegistry, BackendParsing) {
+  std::optional<dp::Level> level;
+  EXPECT_TRUE(dp::Registry::parse_backend("auto", &level));
+  EXPECT_FALSE(level.has_value());
+  EXPECT_TRUE(dp::Registry::parse_backend("", &level));
+  EXPECT_FALSE(level.has_value());
+  EXPECT_TRUE(dp::Registry::parse_backend("scalar", &level));
+  EXPECT_EQ(level, dp::Level::kScalar);
+  EXPECT_TRUE(dp::Registry::parse_backend("simd", &level));
+  EXPECT_EQ(level, dp::Level::kSimd);
+  EXPECT_TRUE(dp::Registry::parse_backend("avx2", &level));
+  EXPECT_EQ(level, dp::Level::kAvx2);
+  EXPECT_FALSE(dp::Registry::parse_backend("sse9", &level));
+  EXPECT_FALSE(dp::Registry::parse_backend("AVX2", &level));
+}
+
+// ---------------------------------------------------------------------------
+// Per-variant exactness sweeps against the scalar reference
+// ---------------------------------------------------------------------------
+
+/// Runs `check(variant)` for every registered non-scalar variant of
+/// `family` that is compiled in and supported by the real CPU.
+template <typename Fn>
+void for_each_checked_variant(const std::string& family, Fn&& check) {
+  auto& reg = dp::Registry::instance();
+  const dp::CpuFeatures features = dp::detected_cpu_features();
+  int checked = 0;
+  for (const dp::Variant& v : reg.variants(family)) {
+    if (v.name == "scalar" || !v.compiled) continue;
+    if (v.isa == "avx2+fma" && !(features.avx2 && features.fma)) continue;
+    SCOPED_TRACE(family + "/" + v.name);
+    check(v);
+    ++checked;
+  }
+  EXPECT_GE(checked, 1) << family << ": no non-scalar variant was checkable";
+}
+
+TEST(DispatchExactness, GemmVariantsHoldTheirDeclaredClass) {
+  dp::register_gemm_variants();
+  const auto scalar =
+      reinterpret_cast<dp::GemmPanelFn>(
+          dp::Registry::instance().find("gemm_f32", "scalar")->fn);
+  // Paper shapes (n = 25/16/50/1 hits the fixed catalog) plus an
+  // off-catalog n = 23 (fixed delegates to scalar) and a bias-less run.
+  struct Shape { i64 m, k, n; bool bias; };
+  const std::vector<Shape> shapes = {
+      {9, 13, 25, true}, {7, 25, 16, true},  {5, 16, 50, true},
+      {8, 50, 1, true},  {6, 10, 23, true},  {9, 13, 25, false}};
+  for (const Shape& s : shapes) {
+    SCOPED_TRACE("m=" + std::to_string(s.m) + " k=" + std::to_string(s.k) +
+                 " n=" + std::to_string(s.n));
+    const std::vector<f32> x = randn_f32(s.m * s.k, 11);
+    const std::vector<f32> w = randn_f32(s.k * s.n, 12);
+    const std::vector<f32> b = randn_f32(s.n, 13);
+    const f32* bias = s.bias ? b.data() : nullptr;
+    std::vector<f32> ref(static_cast<std::size_t>(s.m * s.n));
+    scalar(x.data(), w.data(), bias, ref.data(), 0, s.m, s.k, s.n);
+    for_each_checked_variant("gemm_f32", [&](const dp::Variant& v) {
+      std::vector<f32> out(static_cast<std::size_t>(s.m * s.n), -7.0f);
+      reinterpret_cast<dp::GemmPanelFn>(v.fn)(x.data(), w.data(), bias,
+                                              out.data(), 0, s.m, s.k, s.n);
+      if (v.exactness == dp::Exactness::kBitExact) {
+        EXPECT_TRUE(bytes_equal(ref, out));
+        return;
+      }
+      // Tolerance class (the fixed template): per element, relative to
+      // the mass of the k accumulated |x·w| terms (+ |bias|).
+      ASSERT_GT(v.tolerance, 0.0);
+      for (i64 i = 0; i < s.m; ++i) {
+        for (i64 j = 0; j < s.n; ++j) {
+          f64 mass = bias ? std::abs(static_cast<f64>(bias[j])) : 0.0;
+          for (i64 l = 0; l < s.k; ++l) {
+            mass += std::abs(static_cast<f64>(x[i * s.k + l]) *
+                             w[l * s.n + j]);
+          }
+          const f64 diff =
+              std::abs(static_cast<f64>(out[i * s.n + j]) - ref[i * s.n + j]);
+          EXPECT_LE(diff, v.tolerance * mass)
+              << "element (" << i << "," << j << ")";
+        }
+      }
+    });
+  }
+}
+
+TEST(DispatchExactness, TanhVariantsHoldTheirDeclaredBound) {
+  dp::register_tanh_variants();
+  const auto scalar = reinterpret_cast<dp::TanhChunkFn>(
+      dp::Registry::instance().find("tanh_f32", "scalar")->fn);
+  // Dense random values plus the regimes a polynomial tanh gets wrong:
+  // exact zero, denormal-adjacent, the linear region, and saturation.
+  std::vector<f32> x = randn_f32(4096, 21);
+  const f32 edges[] = {0.0f,   1e-20f, -1e-20f, 1e-6f, -1e-6f, 0.1f,
+                       -0.1f,  1.0f,   -1.0f,   5.0f,  -5.0f,  9.5f,
+                       -9.5f,  30.0f,  -30.0f,  88.0f, -88.0f};
+  x.insert(x.end(), std::begin(edges), std::end(edges));
+  const i64 count = static_cast<i64>(x.size());
+  std::vector<f32> ref(x.size());
+  scalar(x.data(), ref.data(), count);
+  for_each_checked_variant("tanh_f32", [&](const dp::Variant& v) {
+    std::vector<f32> out(x.size());
+    reinterpret_cast<dp::TanhChunkFn>(v.fn)(x.data(), out.data(), count);
+    if (v.exactness == dp::Exactness::kBitExact) {
+      EXPECT_TRUE(bytes_equal(ref, out));
+      return;
+    }
+    ASSERT_GT(v.tolerance, 0.0);
+    f64 worst = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      worst = std::max(worst, std::abs(static_cast<f64>(out[i]) - ref[i]));
+    }
+    EXPECT_LE(worst, v.tolerance) << "absolute bound (|tanh| <= 1)";
+    // In-place operation is part of the family signature.
+    std::vector<f32> inplace = x;
+    reinterpret_cast<dp::TanhChunkFn>(v.fn)(inplace.data(), inplace.data(),
+                                            count);
+    EXPECT_TRUE(bytes_equal(out, inplace));
+  });
+}
+
+TEST(DispatchExactness, SymvVariantsHoldTheMassRelativeBound) {
+  dp::register_ekf_variants();
+  const auto scalar = reinterpret_cast<dp::SymvPanelFn>(
+      dp::Registry::instance().find("ekf_symv_f64", "scalar")->fn);
+  const i64 n = 301;  // odd: exercises every vector tail
+  const std::vector<f64> p = randn_f64(n * n, 31);
+  const std::vector<f64> g = randn_f64(n, 32);
+  std::vector<f64> ref(static_cast<std::size_t>(n));
+  scalar(p.data(), g.data(), ref.data(), 0, n, n);
+  std::vector<f64> mass(static_cast<std::size_t>(n), 0.0);
+  for (i64 i = 0; i < n; ++i) {
+    for (i64 j = 0; j < n; ++j) {
+      mass[static_cast<std::size_t>(i)] += std::abs(p[i * n + j] * g[j]);
+    }
+  }
+  for_each_checked_variant("ekf_symv_f64", [&](const dp::Variant& v) {
+    ASSERT_EQ(v.exactness, dp::Exactness::kTolerance);
+    std::vector<f64> out(static_cast<std::size_t>(n));
+    reinterpret_cast<dp::SymvPanelFn>(v.fn)(p.data(), g.data(), out.data(), 0,
+                                            n, n);
+    for (i64 i = 0; i < n; ++i) {
+      EXPECT_LE(std::abs(out[i] - ref[i]),
+                v.tolerance * mass[static_cast<std::size_t>(i)])
+          << "row " << i;
+    }
+  });
+}
+
+TEST(DispatchExactness, DotVariantsHoldTheMassRelativeBound) {
+  dp::register_ekf_variants();
+  const auto scalar = reinterpret_cast<dp::DotChunkFn>(
+      dp::Registry::instance().find("ekf_dot_f64", "scalar")->fn);
+  const i64 count = 10007;  // prime: exercises every vector tail
+  const std::vector<f64> a = randn_f64(count, 41);
+  const std::vector<f64> b = randn_f64(count, 42);
+  const f64 ref = scalar(a.data(), b.data(), 0, count);
+  f64 mass = 0.0;
+  for (i64 i = 0; i < count; ++i) mass += std::abs(a[i] * b[i]);
+  for_each_checked_variant("ekf_dot_f64", [&](const dp::Variant& v) {
+    ASSERT_EQ(v.exactness, dp::Exactness::kTolerance);
+    const f64 out =
+        reinterpret_cast<dp::DotChunkFn>(v.fn)(a.data(), b.data(), 0, count);
+    EXPECT_LE(std::abs(out - ref), v.tolerance * mass);
+    // Sub-range offsets must agree with the same chunk of the reference.
+    const f64 sub = reinterpret_cast<dp::DotChunkFn>(v.fn)(a.data(), b.data(),
+                                                           17, 1000);
+    EXPECT_LE(std::abs(sub - scalar(a.data(), b.data(), 17, 1000)),
+              v.tolerance * mass);
+  });
+}
+
+TEST(DispatchExactness, Rank1VariantsAreBitExact) {
+  dp::register_ekf_variants();
+  const auto scalar = reinterpret_cast<dp::Rank1PanelFn>(
+      dp::Registry::instance().find("ekf_rank1_f64", "scalar")->fn);
+  const i64 n = 67;  // odd: exercises the per-row vector tails
+  const std::vector<f64> p0 = randn_f64(n * n, 51);
+  const std::vector<f64> k = randn_f64(n, 52);
+  const f64 coeff = 0.37, inv_lambda = 1.0 / 0.9987;
+  std::vector<f64> ref = p0;
+  scalar(ref.data(), k.data(), coeff, inv_lambda, 0, n, n);
+  for_each_checked_variant("ekf_rank1_f64", [&](const dp::Variant& v) {
+    ASSERT_EQ(v.exactness, dp::Exactness::kBitExact);
+    std::vector<f64> out = p0;
+    reinterpret_cast<dp::Rank1PanelFn>(v.fn)(out.data(), k.data(), coeff,
+                                             inv_lambda, 0, n, n);
+    EXPECT_TRUE(bytes_equal(ref, out));
+    // Panel split at an arbitrary row must compose to the same matrix.
+    std::vector<f64> split = p0;
+    reinterpret_cast<dp::Rank1PanelFn>(v.fn)(split.data(), k.data(), coeff,
+                                             inv_lambda, 0, 19, n);
+    reinterpret_cast<dp::Rank1PanelFn>(v.fn)(split.data(), k.data(), coeff,
+                                             inv_lambda, 19, n, n);
+    EXPECT_TRUE(bytes_equal(ref, split));
+  });
+}
+
+TEST(DispatchExactness, DescContractVariantsHoldTheMassRelativeBound) {
+  dp::register_desc_variants();
+  const auto scalar = reinterpret_cast<dp::DescContractFn>(
+      dp::Registry::instance().find("desc_contract_f32", "scalar")->fn);
+  const i64 m = 25, m_axis = 16, q = 83;  // paper M/M^< shapes, odd q
+  const std::vector<f32> ab = randn_f32(m * q, 61);
+  std::vector<f32> ref(static_cast<std::size_t>(m * m_axis));
+  scalar(ab.data(), ref.data(), m, m_axis, q);
+  for_each_checked_variant("desc_contract_f32", [&](const dp::Variant& v) {
+    ASSERT_EQ(v.exactness, dp::Exactness::kTolerance);
+    std::vector<f32> out(static_cast<std::size_t>(m * m_axis));
+    reinterpret_cast<dp::DescContractFn>(v.fn)(ab.data(), out.data(), m,
+                                               m_axis, q);
+    for (i64 i = 0; i < m; ++i) {
+      for (i64 j = 0; j < m_axis; ++j) {
+        f64 mass = 0.0;
+        for (i64 l = 0; l < q; ++l) {
+          mass += std::abs(static_cast<f64>(ab[i * q + l]) * ab[j * q + l]);
+        }
+        EXPECT_LE(std::abs(static_cast<f64>(out[i * m_axis + j]) -
+                           ref[i * m_axis + j]),
+                  v.tolerance * mass)
+            << "element (" << i << "," << j << ")";
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Through the public kernels: width determinism and cross-path identity
+// ---------------------------------------------------------------------------
+
+/// One EKF workload stepped through the public kernels; returns every
+/// output so callers can compare across widths/backends/paths.
+struct EkfRun {
+  std::vector<f64> p;
+  std::vector<f64> y;
+  std::vector<f64> w;
+  f64 gain = 0.0;
+  f64 health = 0.0;
+
+  bool operator==(const EkfRun& o) const {
+    return std::memcmp(p.data(), o.p.data(), p.size() * sizeof(f64)) == 0 &&
+           std::memcmp(y.data(), o.y.data(), y.size() * sizeof(f64)) == 0 &&
+           std::memcmp(w.data(), o.w.data(), w.size() * sizeof(f64)) == 0 &&
+           std::memcmp(&gain, &o.gain, sizeof(f64)) == 0 &&
+           std::memcmp(&health, &o.health, sizeof(f64)) == 0;
+  }
+};
+
+EkfRun run_ekf(bool fused, i64 n) {
+  const std::vector<f64> p0 = randn_f64(n * n, 71);
+  const std::vector<f64> g = randn_f64(n, 72);
+  EkfRun r;
+  r.p = p0;
+  r.y.assign(static_cast<std::size_t>(n), 0.0);
+  r.w = randn_f64(n, 73);
+  const f64 lambda = 0.9987, step = 0.01, noise = 1e-8;
+  if (fused) {
+    r.gain = kernels::ekf_gain_fused(r.p, g, r.y, n);
+    r.health = kernels::ekf_apply_fused(r.p, r.y, 1.0 / (lambda + r.gain),
+                                        lambda, step, r.w, noise, n);
+  } else {
+    kernels::symv(r.p, g, r.y, n);
+    r.gain = kernels::dot(g, r.y);
+    kernels::p_update_fused(r.p, r.y, 1.0 / (lambda + r.gain), lambda, n);
+    for (i64 i = 0; i < n; ++i) r.p[i * n + i] += noise;
+    kernels::axpy(step, r.y, r.w);
+    r.health = 0.0;
+    for (i64 i = 0; i < n; ++i) {
+      r.health = std::max(r.health, r.p[i * n + i]);
+    }
+  }
+  return r;
+}
+
+TEST(DispatchKernels, EveryBackendIsWidthDeterministicAndFusedInvariant) {
+  BackendGuard backend_guard;
+  WidthGuard width_guard;
+  auto& reg = dp::Registry::instance();
+  const i64 n = 193;
+  for (dp::Level level : {dp::Level::kScalar, dp::Level::kSimd,
+                          dp::Level::kAvx2}) {
+    SCOPED_TRACE(std::string("backend=") + dp::level_name(level));
+    reg.set_backend(level);
+    set_num_threads(1);
+    const EkfRun fused1 = run_ekf(true, n);
+    const EkfRun legacy1 = run_ekf(false, n);
+    set_num_threads(4);
+    const EkfRun fused4 = run_ekf(true, n);
+    const EkfRun legacy4 = run_ekf(false, n);
+    // Width determinism per backend (§9 holds per variant)...
+    EXPECT_TRUE(fused1 == fused4);
+    EXPECT_TRUE(legacy1 == legacy4);
+    // ...and fused vs legacy share the same dispatched bodies, so the
+    // cross-path identity holds under every backend, tolerance-class
+    // variants included. (health is computed differently: fused returns
+    // max diag AFTER noise either way — compare the shared outputs.)
+    EXPECT_TRUE(std::memcmp(fused1.p.data(), legacy1.p.data(),
+                            fused1.p.size() * sizeof(f64)) == 0);
+    EXPECT_TRUE(std::memcmp(fused1.w.data(), legacy1.w.data(),
+                            fused1.w.size() * sizeof(f64)) == 0);
+    EXPECT_TRUE(std::memcmp(&fused1.gain, &legacy1.gain, sizeof(f64)) == 0);
+  }
+}
+
+TEST(DispatchKernels, ForwardPathMatchesScalarUnderAuto) {
+  // The auto policy only ever selects bit_exact variants, so the public
+  // f32 forward kernels must agree with forced-scalar byte for byte.
+  BackendGuard guard;
+  auto& reg = dp::Registry::instance();
+  Rng rng(81);
+  const Tensor x = Tensor::randn(33, 50, rng);
+  const Tensor w = Tensor::randn(50, 25, rng);
+  const Tensor b = Tensor::randn(1, 25, rng);
+  reg.set_backend(dp::Level::kScalar);
+  const Tensor mm_s = kernels::matmul(x, w);
+  const Tensor lt_s = kernels::linear_tanh(x, w, b);
+  const Tensor th_s = kernels::tanh(x);
+  reg.set_backend(std::nullopt);
+  const Tensor mm_a = kernels::matmul(x, w);
+  const Tensor lt_a = kernels::linear_tanh(x, w, b);
+  const Tensor th_a = kernels::tanh(x);
+  auto same = [](const Tensor& p, const Tensor& q) {
+    return std::memcmp(p.data(), q.data(),
+                       static_cast<std::size_t>(p.numel()) * sizeof(f32)) == 0;
+  };
+  EXPECT_TRUE(same(mm_s, mm_a));
+  EXPECT_TRUE(same(lt_s, lt_a));
+  EXPECT_TRUE(same(th_s, th_a));
+}
+
+}  // namespace
+}  // namespace fekf
