@@ -122,13 +122,10 @@ int main(int argc, char** argv) {
   entries.push_back(
       summarize("corrupt_ckpt", run_fekf("corrupt_ckpt", true, 2)));
 
-  // Rank failure runs on the virtual cluster; the re-shard cost lives in
-  // the communication ledger, not the trainer timers.
-  f64 reshard_seconds = 0.0;
-  i64 reshard_bytes = 0;
-  i64 surviving_ranks = 0;
-  {
-    FaultInjector::instance().configure("rank_fail@step=2");
+  // Membership faults run on the virtual cluster; their recovery cost
+  // lives in the communication ledger, not the trainer timers.
+  auto run_cluster = [&](const std::string& fault_spec) {
+    FaultInjector::instance().configure(fault_spec);
     deepmd::DeepmdModel model = fresh_model();
     dist::DistributedConfig dcfg;
     dcfg.ranks = cli.get_int("ranks");
@@ -140,12 +137,43 @@ int main(int argc, char** argv) {
     dist::DistributedResult dr = dist::train_fekf_distributed(
         model, fixture.train_envs, fixture.test_envs, dcfg);
     FaultInjector::instance().clear();
+    return dr;
+  };
+  f64 reshard_seconds = 0.0;
+  i64 reshard_bytes = 0;
+  i64 surviving_ranks = 0;
+  f64 detection_seconds = 0.0;
+  {
+    dist::DistributedResult dr = run_cluster("rank_fail@step=2");
     Entry e = summarize("rank_fail", dr.train);
     e.wall_seconds = dr.simulated_seconds;
     entries.push_back(e);
     reshard_seconds = dr.comm.reshard_seconds;
     reshard_bytes = dr.comm.reshard_bytes;
     surviving_ranks = dr.surviving_ranks;
+    detection_seconds = dr.comm.detection_seconds;
+  }
+  // An elastic join: the catch-up transfer (weights + covariance shard) is
+  // the price of admitting a rank mid-run.
+  f64 join_seconds = 0.0;
+  i64 join_bytes = 0;
+  {
+    dist::DistributedResult dr = run_cluster("rank_join@step=2");
+    Entry e = summarize("rank_join", dr.train);
+    e.wall_seconds = dr.simulated_seconds;
+    entries.push_back(e);
+    join_seconds = dr.comm.join_seconds;
+    join_bytes = dr.comm.join_bytes;
+  }
+  // A straggler under the bounded-wait policy: the extra simulated wait is
+  // the admitted slowdown, capped at straggler_wait_factor x nominal.
+  f64 straggler_wait_seconds = 0.0;
+  {
+    dist::DistributedResult dr = run_cluster("straggler@step=2,factor=4");
+    Entry e = summarize("straggler", dr.train);
+    e.wall_seconds = dr.simulated_seconds;
+    entries.push_back(e);
+    straggler_wait_seconds = dr.comm.straggler_wait_seconds;
   }
 
   const Entry& base = entries.front();
@@ -163,9 +191,13 @@ int main(int argc, char** argv) {
   std::printf("\nsentinel snapshot overhead: %+.1f%% wall vs sentinels off\n",
               100.0 * (base.wall_seconds / entries[1].wall_seconds - 1.0));
   std::printf("rank_fail re-shard: %.6f simulated s, %lld bytes, "
-              "%lld ranks survived\n",
+              "%lld ranks survived (detection %.6f s)\n",
               reshard_seconds, static_cast<long long>(reshard_bytes),
-              static_cast<long long>(surviving_ranks));
+              static_cast<long long>(surviving_ranks), detection_seconds);
+  std::printf("rank_join catch-up: %.6f simulated s, %lld bytes; "
+              "straggler bounded wait: %.6f simulated s\n",
+              join_seconds, static_cast<long long>(join_bytes),
+              straggler_wait_seconds);
 
   std::string json = "{\n  \"bench\": \"bench_resilience\",\n";
   json += "  \"system\": \"" + fixture.system + "\",\n";
@@ -180,6 +212,12 @@ int main(int argc, char** argv) {
           ",\n";
   json += "  \"rank_fail_surviving_ranks\": " +
           std::to_string(surviving_ranks) + ",\n";
+  json += "  \"rank_fail_detection_seconds\": " +
+          fmt("%.9f", detection_seconds) + ",\n";
+  json += "  \"rank_join_seconds\": " + fmt("%.9f", join_seconds) + ",\n";
+  json += "  \"rank_join_bytes\": " + std::to_string(join_bytes) + ",\n";
+  json += "  \"straggler_wait_seconds\": " +
+          fmt("%.9f", straggler_wait_seconds) + ",\n";
   json += "  \"scenarios\": [\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];

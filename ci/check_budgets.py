@@ -21,6 +21,13 @@ when any metric regresses beyond the thresholds in ci/budgets.json:
     must meet `max_s_per_call`, and each kernel named in
     `min_best_speedup` must keep its best-variant-vs-scalar speedup —
     this is what makes the SIMD win a gate, not an anecdote
+  * chaos budgets over the bench_chaos artifact (`--chaos`, the "chaos"
+    section, DESIGN.md §10): per lossy-link cell the retry-time ratio and
+    comm overhead vs the clean cell, and for the churn scenario the
+    membership recovery bill (reshard + join catch-up + detection
+    seconds). These are SIMULATED seconds derived from byte counts and
+    seeded RNG draws — deterministic for a fixed bench scale — so their
+    budgets are tight, unlike the wall-clock gates
 
 --kernels-doc FILE cross-checks docs/KERNELS.md against the artifact's
 dispatch section: every registered variant must appear in the doc's
@@ -168,6 +175,44 @@ def check_dispatch(doc, budgets, failures):
                          actual.get("best_speedup", 0.0), min_speedup)
 
 
+def check_chaos(doc, budgets, failures):
+    if not budgets:
+        return
+    if doc is None:
+        failures.append("chaos: budgets define chaos limits but no --chaos "
+                        "artifact was provided")
+        return
+    per_cell = {c["name"]: c for c in doc.get("cells", [])}
+    for name, limits in budgets.get("cells", {}).items():
+        actual = per_cell.get(name)
+        if actual is None:
+            failures.append(f"chaos: cell '{name}' missing from artifact "
+                            f"(bench and budgets out of sync)")
+            continue
+        gate(failures, f"chaos[{name}].retry_ratio",
+             actual["retry_ratio"], limits.get("max_retry_ratio"))
+        gate(failures, f"chaos[{name}].drop_overhead_frac",
+             actual["drop_overhead_frac"],
+             limits.get("max_drop_overhead_frac"))
+        # Structural floor: a lossy cell that records zero drops means the
+        # chaos sweep silently stopped injecting.
+        gate_min(failures, f"chaos[{name}].msg_drops",
+                 actual["msg_drops"], limits.get("min_msg_drops"))
+    limits = budgets.get("churn", {})
+    if limits:
+        churn = doc.get("churn")
+        if churn is None:
+            failures.append("chaos: budgets define churn limits but the "
+                            "artifact has no 'churn' section")
+            return
+        gate(failures, "chaos[churn].recovery_seconds",
+             churn["recovery_seconds"], limits.get("max_recovery_seconds"))
+        gate_min(failures, "chaos[churn].surviving_ranks",
+                 churn["surviving_ranks"], limits.get("min_surviving_ranks"))
+        gate_min(failures, "chaos[churn].join_events",
+                 churn["join_events"], limits.get("min_join_events"))
+
+
 def gate(failures, what, actual, limit):
     if limit is None:
         return
@@ -179,6 +224,8 @@ def gate(failures, what, actual, limit):
 
 
 def gate_min(failures, what, actual, floor):
+    if floor is None:
+        return
     status = "ok" if actual >= floor else "FAIL"
     print(f"  {what:<48} {float(actual):>14.6g}  "
           f"floor  {float(floor):>14.6g}  {status}")
@@ -247,7 +294,7 @@ def check_kernels_doc(doc, doc_path, failures):
           f"documented in {doc_path}")
 
 
-def run_checks(fig7bc, fusion, budgets):
+def run_checks(fig7bc, fusion, budgets, chaos=None):
     failures = []
     print("fig7bc_kernels budgets:")
     check_fig7bc(fig7bc, budgets.get("fig7bc_kernels", {}), failures)
@@ -255,10 +302,13 @@ def run_checks(fig7bc, fusion, budgets):
     check_fusion(fusion, budgets.get("fusion", {}), failures)
     print("dispatch budgets:")
     check_dispatch(fig7bc, budgets.get("dispatch", {}), failures)
+    if chaos is not None or budgets.get("chaos"):
+        print("chaos budgets:")
+        check_chaos(chaos, budgets.get("chaos", {}), failures)
     return failures
 
 
-def rebaseline(fig7bc, fusion, path):
+def rebaseline(fig7bc, fusion, path, chaos=None):
     budgets = {
         "_comment": [
             "Perf/launch/allocation budgets for ci/check_budgets.py.",
@@ -308,14 +358,38 @@ def rebaseline(fig7bc, fusion, path):
                 entry["min_best_speedup"] = 1.5
             kernels[k["kernel"]] = entry
         budgets["dispatch"] = {"kernels": kernels}
+    if chaos is not None:
+        # Chaos figures are simulated (deterministic for a fixed bench
+        # scale), so they get the tight launch-style slack, not TIME_SLACK.
+        cells = {}
+        for c in chaos.get("cells", []):
+            limits = {
+                "max_retry_ratio":
+                    float(f"{c['retry_ratio'] * LAUNCH_SLACK:.3g}"),
+                "max_drop_overhead_frac":
+                    float(f"{c['drop_overhead_frac'] * LAUNCH_SLACK:.3g}"),
+            }
+            if c.get("drop_p", 0.0) > 0.0 and c.get("msg_drops", 0) > 0:
+                limits["min_msg_drops"] = 1
+            cells[c["name"]] = limits
+        churn = chaos.get("churn", {})
+        budgets["chaos"] = {
+            "cells": cells,
+            "churn": {
+                "max_recovery_seconds":
+                    float(f"{churn['recovery_seconds'] * LAUNCH_SLACK:.3g}"),
+                "min_surviving_ranks": churn["surviving_ranks"],
+                "min_join_events": churn["join_events"],
+            },
+        }
     with open(path, "w") as f:
         json.dump(budgets, f, indent=2)
         f.write("\n")
     print(f"budgets re-baselined into {path}")
 
 
-def self_test(fig7bc, fusion, budgets):
-    clean = run_checks(fig7bc, fusion, budgets)
+def self_test(fig7bc, fusion, budgets, chaos=None):
+    clean = run_checks(fig7bc, fusion, budgets, chaos)
     if clean:
         print("self-test: artifacts do not pass the current budgets, cannot "
               "run the injection test:", file=sys.stderr)
@@ -331,13 +405,31 @@ def self_test(fig7bc, fusion, budgets):
             c["step_kernels"] *= 3
     print("\nself-test: injected 3x fused launch-count regression, "
           "re-checking (failures below are EXPECTED):")
-    caught = run_checks(broken, fusion, budgets)
+    caught = run_checks(broken, fusion, budgets, chaos)
     if not caught:
         print("self-test: FAILED — the injected regression was not caught",
               file=sys.stderr)
         return 1
     print(f"\nself-test: ok — injected regression caught "
           f"({len(caught)} violation(s), e.g. '{caught[0]}')")
+    # Inject a recovery-overhead regression: the churn scenario's membership
+    # recovery bill (reshard + catch-up + detection) suddenly costs 10x —
+    # e.g. someone broke the reshard accounting or the catch-up transfer
+    # started shipping P replicas. The chaos gate MUST catch this loudly.
+    if (chaos is not None and budgets.get("chaos", {}).get("churn", {})
+            .get("max_recovery_seconds") is not None):
+        broken_chaos = copy.deepcopy(chaos)
+        broken_chaos["churn"]["recovery_seconds"] *= 10
+        print("\nself-test: injected 10x churn recovery-overhead "
+              "regression, re-checking (failures below are EXPECTED):")
+        caught = run_checks(fig7bc, fusion, budgets, broken_chaos)
+        recovery = [f for f in caught if "recovery_seconds" in f]
+        if not recovery:
+            print("self-test: FAILED — the injected recovery-overhead "
+                  "regression was not caught", file=sys.stderr)
+            return 1
+        print(f"\nself-test: ok — recovery-overhead regression caught "
+              f"('{recovery[0]}')")
     # Inject a missing-variant regression: a budgeted SIMD variant vanishes
     # from the artifact (someone deleted or renamed its registration). The
     # dispatch gate MUST treat that as a failure, not a skip.
@@ -380,6 +472,9 @@ def main():
                         help="fig7bc_kernels.json (overrides --summary)")
     parser.add_argument("--fusion", default=None,
                         help="fusion.json (overrides --summary)")
+    parser.add_argument("--chaos", default=None,
+                        help="chaos.json from bench_chaos (optional; "
+                             "required when budgets have a chaos section)")
     parser.add_argument("--budgets", default=str(DEFAULT_BUDGETS))
     parser.add_argument("--rebaseline", action="store_true",
                         help="rewrite --budgets from the current artifacts")
@@ -405,14 +500,15 @@ def main():
             return 1
     fig7bc = load_json(fig7bc_path)
     fusion = load_json(fusion_path)
+    chaos = load_json(args.chaos) if args.chaos else None
 
     if args.rebaseline:
-        rebaseline(fig7bc, fusion, args.budgets)
+        rebaseline(fig7bc, fusion, args.budgets, chaos)
         return 0
     budgets = load_json(args.budgets)
     if args.self_test:
-        return self_test(fig7bc, fusion, budgets)
-    failures = run_checks(fig7bc, fusion, budgets)
+        return self_test(fig7bc, fusion, budgets, chaos)
+    failures = run_checks(fig7bc, fusion, budgets, chaos)
     if args.kernels_doc:
         check_kernels_doc(fig7bc, args.kernels_doc, failures)
     if failures:

@@ -14,9 +14,11 @@
 #                             (FEKF_KERNEL_BACKEND=scalar) so the dispatch
 #                             fallback path stays tested end to end
 #   4. perf/launch budgets    (release legs only) bench_fig7bc_kernels +
-#                             bench_fusion emit JSON, ci/check_budgets.py
+#                             bench_fusion + bench_chaos emit JSON,
+#                             ci/check_budgets.py
 #                             gates it against ci/budgets.json (incl. the
-#                             per-variant dispatch budgets), diffs
+#                             per-variant dispatch and chaos-recovery
+#                             budgets), diffs
 #                             docs/KERNELS.md against the registry via
 #                             --kernels-doc, and the gate's --self-test
 #                             proves it can fail
@@ -84,13 +86,18 @@ for ty in $BUILD_TYPES; do
     "./$dir/bench/bench_fig7bc_kernels" \
       --json "$ARTIFACTS/fig7bc_kernels.json"
     "./$dir/bench/bench_fusion" --json "$ARTIFACTS/fusion.json"
+    # Default flags on purpose: the chaos budgets gate simulated (hence
+    # deterministic) figures baselined at exactly this scale.
+    "./$dir/bench/bench_chaos" --json "$ARTIFACTS/chaos.json"
     python3 ci/check_budgets.py \
       --fig7bc "$ARTIFACTS/fig7bc_kernels.json" \
       --fusion "$ARTIFACTS/fusion.json" \
+      --chaos "$ARTIFACTS/chaos.json" \
       --kernels-doc docs/KERNELS.md
     python3 ci/check_budgets.py \
       --fig7bc "$ARTIFACTS/fig7bc_kernels.json" \
-      --fusion "$ARTIFACTS/fusion.json" --self-test
+      --fusion "$ARTIFACTS/fusion.json" \
+      --chaos "$ARTIFACTS/chaos.json" --self-test
   else
     echo "==== [4/4] budgets skipped for $ty (sanitizer timing is not "
     echo "     representative; launch budgets are covered by the release leg)"

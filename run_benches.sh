@@ -63,6 +63,10 @@ FEKF_TRACE="$ARTIFACTS/resilience_trace.json" \
   FEKF_METRICS="$ARTIFACTS/resilience_metrics.json" \
   run ./build/bench/bench_resilience --train 24 --epochs 3 \
   --ckpt "$ARTIFACTS/resilience.ckpt" --json "$ARTIFACTS/resilience.json"
+# Chaos sweep at the default scale: the ci/budgets.json chaos section is
+# baselined against these exact flags (the gated figures are simulated and
+# deterministic, so the scale must match).
+run ./build/bench/bench_chaos --json "$ARTIFACTS/chaos.json"
 echo "  ]" >> "$INDEX"
 echo "}" >> "$INDEX"
 cat > "$SUMMARY" <<EOF
@@ -75,7 +79,8 @@ cat > "$SUMMARY" <<EOF
     "fig7bc_kernels": "$ARTIFACTS/fig7bc_kernels.json",
     "fusion": "$ARTIFACTS/fusion.json",
     "scaling": "$ARTIFACTS/scaling.json",
-    "resilience": "$ARTIFACTS/resilience.json"
+    "resilience": "$ARTIFACTS/resilience.json",
+    "chaos": "$ARTIFACTS/chaos.json"
   }
 }
 EOF

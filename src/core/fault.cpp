@@ -5,16 +5,105 @@
 
 namespace fekf {
 
-const char* fault_kind_name(FaultKind kind) {
-  switch (kind) {
-    case FaultKind::kNanGrad:
-      return "nan_grad";
-    case FaultKind::kCorruptCkpt:
-      return "corrupt_ckpt";
-    case FaultKind::kRankFail:
-      return "rank_fail";
+namespace {
+
+constexpr std::string_view kKnownKinds[] = {
+    faults::kNanGrad, faults::kCorruptCkpt, faults::kRankFail,
+    faults::kRankJoin, faults::kStraggler, faults::kMsgDrop,
+    faults::kMsgCorrupt,
+};
+
+bool is_known_kind(std::string_view kind) {
+  for (const std::string_view k : kKnownKinds) {
+    if (k == kind) return true;
   }
-  return "unknown";
+  return false;
+}
+
+std::string known_kinds_list() {
+  std::string out;
+  for (const std::string_view k : kKnownKinds) {
+    if (!out.empty()) out += '|';
+    out += k;
+  }
+  return out;
+}
+
+/// FNV-1a of the kind name: the default seed of a probabilistic arm that
+/// carries no seed= qualifier. Stable across runs by construction.
+u64 default_seed(std::string_view kind) {
+  u64 h = 0xcbf29ce484222325ULL;
+  for (const char c : kind) {
+    h ^= static_cast<u64>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+[[noreturn]] void bad_token(const std::string& token, const std::string& why) {
+  throw Error("fault spec: " + why + " in token '" + token + "'");
+}
+
+i64 parse_i64(const std::string& token, const char* text, char** endp) {
+  const i64 v = static_cast<i64>(std::strtoll(text, endp, 10));
+  if (*endp == text) bad_token(token, "expected a number");
+  return v;
+}
+
+f64 parse_f64(const std::string& token, const char* text, char** endp) {
+  const f64 v = std::strtod(text, endp);
+  if (*endp == text) bad_token(token, "expected a number");
+  return v;
+}
+
+/// Apply one "key=value" qualifier token to `arm`.
+void apply_qualifier(FaultArm& arm, bool& has_seed, const std::string& token) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    bad_token(token, "expected 'key=value' qualifier");
+  }
+  const std::string key = token.substr(0, eq);
+  const std::string value = token.substr(eq + 1);
+  char* endp = nullptr;
+  if (key == "step") {
+    arm.at_step = parse_i64(token, value.c_str(), &endp);
+    if (arm.at_step < 0) bad_token(token, "step must be >= 0");
+    if (*endp == 'x') {
+      const char* rep = endp + 1;
+      arm.repeat = parse_i64(token, rep, &endp);
+      if (arm.repeat < 1) bad_token(token, "repeat count must be >= 1");
+    }
+    if (*endp != '\0') bad_token(token, "trailing characters after step");
+  } else if (key == "p") {
+    arm.prob = parse_f64(token, value.c_str(), &endp);
+    if (*endp != '\0') bad_token(token, "trailing characters after p");
+    if (!(arm.prob >= 0.0 && arm.prob <= 1.0)) {
+      bad_token(token, "p must be in [0, 1]");
+    }
+  } else if (key == "seed") {
+    arm.seed = static_cast<u64>(parse_i64(token, value.c_str(), &endp));
+    if (*endp != '\0') bad_token(token, "trailing characters after seed");
+    has_seed = true;
+  } else if (key == "factor") {
+    arm.factor = parse_f64(token, value.c_str(), &endp);
+    if (*endp != '\0') bad_token(token, "trailing characters after factor");
+    if (!(arm.factor > 0.0) || !std::isfinite(arm.factor)) {
+      bad_token(token, "factor must be finite and > 0");
+    }
+  } else if (key == "rank") {
+    arm.rank = parse_i64(token, value.c_str(), &endp);
+    if (*endp != '\0') bad_token(token, "trailing characters after rank");
+    if (arm.rank < 0) bad_token(token, "rank must be >= 0");
+  } else {
+    bad_token(token, "unknown qualifier '" + key + "=' "
+                     "(want step|p|seed|factor|rank)");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string_view> fault_kind_names() {
+  return {std::begin(kKnownKinds), std::end(kKnownKinds)};
 }
 
 FaultInjector& FaultInjector::instance() {
@@ -22,80 +111,151 @@ FaultInjector& FaultInjector::instance() {
   return injector;
 }
 
-FaultInjector::FaultInjector() {
-  if (const char* env = std::getenv("FEKF_FAULT_SPEC")) {
-    configure(env);
-  }
+FaultInjector::FaultInjector() { configure_from_env(); }
+
+void FaultInjector::configure_from_env() {
+  const char* env = std::getenv("FEKF_FAULT_SPEC");
+  configure(env != nullptr ? env : "");
 }
 
 void FaultInjector::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (Arm& a : arms_) a = Arm{};
+  arms_.clear();
 }
 
 void FaultInjector::configure(const std::string& spec) {
-  clear();
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Parse into a local registry first so a malformed spec leaves the
+  // injector unchanged.
+  std::vector<ArmState> parsed;
+  std::vector<bool> has_seed;
   std::size_t pos = 0;
-  while (pos < spec.size()) {
+  while (pos <= spec.size()) {
     std::size_t comma = spec.find(',', pos);
     if (comma == std::string::npos) comma = spec.size();
-    std::string entry = spec.substr(pos, comma - pos);
+    std::string token = spec.substr(pos, comma - pos);
+    const bool last = comma == spec.size();
     pos = comma + 1;
-    if (entry.empty()) continue;
-
-    i64 at_step = -1;
-    const std::size_t at = entry.find('@');
-    if (at != std::string::npos) {
-      const std::string trigger = entry.substr(at + 1);
-      entry.resize(at);
-      constexpr const char* kStepPrefix = "step=";
-      FEKF_CHECK(trigger.rfind(kStepPrefix, 0) == 0,
-                 "fault spec trigger must be 'step=N', got '" + trigger +
-                     "'");
-      char* endp = nullptr;
-      const char* num = trigger.c_str() + 5;
-      at_step = static_cast<i64>(std::strtoll(num, &endp, 10));
-      FEKF_CHECK(endp != num && *endp == '\0' && at_step >= 0,
-                 "bad fault step in '" + trigger + "'");
+    if (token.empty()) {
+      if (last && spec.empty()) break;  // the empty spec disarms everything
+      bad_token(token.empty() ? "," : token,
+                "empty token (trailing or doubled comma?)");
     }
-
-    int kind = -1;
-    for (int k = 0; k < kNumFaultKinds; ++k) {
-      if (entry == fault_kind_name(static_cast<FaultKind>(k))) kind = k;
+    const std::size_t at = token.find('@');
+    const bool is_qualifier =
+        at == std::string::npos && token.find('=') != std::string::npos;
+    if (is_qualifier) {
+      // "seed=7" continues the arm on its left ("msg_drop@p=0.01,seed=7").
+      if (parsed.empty()) {
+        bad_token(token, "qualifier with no fault kind before it");
+      }
+      bool seeded = has_seed.back();
+      apply_qualifier(parsed.back().arm, seeded, token);
+      has_seed.back() = seeded;
+    } else {
+      FaultArm arm;
+      arm.kind = at == std::string::npos ? token : token.substr(0, at);
+      if (!is_known_kind(arm.kind)) {
+        bad_token(token, "unknown fault kind '" + arm.kind + "' (want " +
+                             known_kinds_list() + ")");
+      }
+      for (const ArmState& prev : parsed) {
+        if (prev.arm.kind == arm.kind) {
+          bad_token(token, "duplicate arm for kind '" + arm.kind + "'");
+        }
+      }
+      bool seeded = false;
+      if (at != std::string::npos) {
+        apply_qualifier(arm, seeded, token.substr(at + 1));
+      }
+      parsed.push_back(ArmState{std::move(arm), 0, Rng(0)});
+      has_seed.push_back(seeded);
     }
-    FEKF_CHECK(kind >= 0, "unknown fault kind '" + entry +
-                              "' (want nan_grad|corrupt_ckpt|rank_fail)");
-    arms_[kind] = Arm{/*armed=*/true, /*fired=*/false, at_step};
+    if (last) break;
   }
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    FaultArm& arm = parsed[i].arm;
+    if (arm.prob >= 0.0 && arm.repeat > 1) {
+      bad_token(arm.kind, "probabilistic arms cannot carry a repeat count");
+    }
+    if (arm.prob >= 0.0 && !has_seed[i]) arm.seed = default_seed(arm.kind);
+    parsed[i].rng.reseed(arm.seed);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  arms_ = std::move(parsed);
 }
 
-bool FaultInjector::fire(FaultKind kind, i64 step) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Arm& arm = arms_[static_cast<int>(kind)];
-  if (!arm.armed || arm.fired) return false;
-  if (arm.at_step >= 0 && step < arm.at_step) return false;
-  arm.fired = true;
-  return true;
+FaultInjector::ArmState* FaultInjector::find(std::string_view kind) {
+  for (ArmState& a : arms_) {
+    if (a.arm.kind == kind) return &a;
+  }
+  return nullptr;
 }
 
-bool FaultInjector::armed(FaultKind kind) const {
+const FaultInjector::ArmState* FaultInjector::find(
+    std::string_view kind) const {
+  for (const ArmState& a : arms_) {
+    if (a.arm.kind == kind) return &a;
+  }
+  return nullptr;
+}
+
+bool FaultInjector::fire(std::string_view kind, i64 step) {
+  return fire_detail(kind, step).has_value();
+}
+
+std::optional<FiredFault> FaultInjector::fire_detail(std::string_view kind,
+                                                     i64 step) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const Arm& arm = arms_[static_cast<int>(kind)];
-  return arm.armed && !arm.fired;
+  ArmState* a = find(kind);
+  if (a == nullptr) return std::nullopt;
+  if (a->arm.at_step >= 0 && step < a->arm.at_step) return std::nullopt;
+  if (a->arm.prob >= 0.0) {
+    // Probabilistic arm: one draw per eligible poll.
+    if (a->rng.uniform() >= a->arm.prob) return std::nullopt;
+  } else {
+    if (a->fired >= a->arm.repeat) return std::nullopt;
+  }
+  ++a->fired;
+  return FiredFault{a->arm.factor, a->arm.rank};
+}
+
+bool FaultInjector::armed(std::string_view kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ArmState* a = find(kind);
+  if (a == nullptr) return false;
+  if (a->arm.prob >= 0.0) return true;
+  return a->fired < a->arm.repeat;
+}
+
+std::vector<FaultArm> FaultInjector::arms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FaultArm> out;
+  out.reserve(arms_.size());
+  for (const ArmState& a : arms_) out.push_back(a.arm);
+  return out;
 }
 
 void FaultInjector::corrupt_file(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "r+b");
-  FEKF_CHECK(f != nullptr, "cannot open '" + path + "' to corrupt it");
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  FEKF_CHECK(size > 0, "cannot corrupt empty file '" + path + "'");
+  FEKF_CHECK(f != nullptr,
+             "cannot open '" + path + "' to corrupt it (missing file?)");
+  bool seek_ok = std::fseek(f, 0, SEEK_END) == 0;
+  const long size = seek_ok ? std::ftell(f) : -1L;
+  if (size <= 0) {
+    std::fclose(f);
+    FEKF_CHECK(size == 0, "cannot size '" + path + "' to corrupt it");
+    throw Error("cannot corrupt empty file '" + path + "'");
+  }
+  // size/2 is always a valid offset (0 for a one-byte file).
   const long target = size / 2;
-  std::fseek(f, target, SEEK_SET);
-  const int c = std::fgetc(f);
-  std::fseek(f, target, SEEK_SET);
-  std::fputc((c == EOF ? 0 : c) ^ 0x20, f);  // flip a bit, stay printable
+  seek_ok = std::fseek(f, target, SEEK_SET) == 0;
+  const int c = seek_ok ? std::fgetc(f) : EOF;
+  if (c == EOF || std::fseek(f, target, SEEK_SET) != 0) {
+    std::fclose(f);
+    throw Error("cannot read '" + path + "' at byte " +
+                std::to_string(target) + " to corrupt it");
+  }
+  std::fputc(c ^ 0x20, f);  // flip a bit, stay printable
   std::fclose(f);
 }
 

@@ -4,48 +4,91 @@
 // The resilience contract (DESIGN.md §10) is only credible if every
 // recovery path is exercised by tests, not just claimed. FaultInjector is
 // the single switchboard: a spec string — from the FEKF_FAULT_SPEC
-// environment variable or configure() — arms one-shot faults that the
-// instrumented sites (trainer gradient assembly, checkpoint writer, the
-// virtual cluster) poll at deterministic points:
+// environment variable or configure() — arms faults that the instrumented
+// sites (trainer gradient assembly, checkpoint writer, the elastic
+// virtual cluster) poll at deterministic points.
+//
+// Spec grammar (comma-separated arms; qualifiers attach to the arm on
+// their left):
+//
+//   spec  := arm ("," (arm | qual))*
+//   arm   := kind | kind "@" qual
+//   qual  := key "=" value
+//   kind  := nan_grad | corrupt_ckpt | rank_fail | rank_join
+//          | straggler | msg_drop | msg_corrupt
+//   key   := step | p | seed | factor | rank
+//
+// so "rank_fail@step=30,rank_join@step=60" arms two faults and
+// "msg_drop@p=0.01,seed=7" arms one probabilistic fault with two
+// qualifiers. Deterministic arms (`step=N`, or no qualifier = first
+// opportunity) fire on the first `repeat` polls whose step has reached N;
+// `step=30x3` sets repeat = 3, so the arm fires on three consecutive
+// polls. Probabilistic arms (`p=0.01`) fire per poll with probability p,
+// drawn from a dedicated xoshiro stream seeded by `seed=` (or a stable
+// per-kind default), so injected runs are exactly reproducible — the
+// recovery-determinism tests rely on it. `factor=` (straggler slowdown)
+// and `rank=` (target rank id) are payload qualifiers the poll site reads
+// back via FiredFault.
+//
+// Fault kinds and their poll sites:
 //
 //   nan_grad@step=17     poison the measurement gradient at optimizer
 //                        step 17 (trainer sentinels must roll back)
 //   corrupt_ckpt         flip a byte in the next checkpoint written
 //                        (the loader's checksum must reject it)
-//   rank_fail@step=30    kill the highest live rank of the virtual
-//                        cluster at training step 30 (its shard is
-//                        redistributed and the re-shard is charged to the
-//                        simulated-time ledger)
+//   rank_fail@step=30    silence a virtual-cluster rank at step 30; the
+//                        heartbeat failure detector evicts it and the
+//                        survivors re-shard (dist/cluster.hpp)
+//   rank_join@step=60    a new rank joins at step 60 and receives the
+//                        weight + covariance catch-up transfer
+//   straggler@step=9     slow one rank down (factor=F, default 4x); the
+//                        cluster's bounded-wait policy decides wait vs
+//                        drop-and-reshard
+//   msg_drop@p=0.01      each simulated ring message is dropped with
+//                        probability p and retried with backoff
+//   msg_corrupt@p=0.01   ditto, but the message arrives corrupted and is
+//                        detected + retried
 //
-// Specs are comma-separated ("nan_grad@step=3,rank_fail@step=5"). A fault
-// without "@step=N" fires at the first opportunity. Every fault fires at
-// most once per configure(), so injected runs are exactly reproducible —
-// the recovery-determinism tests rely on it.
+// Every configure() resets all fired counts and RNG streams, so a spec
+// replays identically run to run. Malformed specs throw a single-line
+// Error naming the offending token (tests/test_core.cpp).
 #pragma once
 
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/common.hpp"
+#include "core/rng.hpp"
 
 namespace fekf {
 
-enum class FaultKind : int { kNanGrad = 0, kCorruptCkpt = 1, kRankFail = 2 };
-inline constexpr int kNumFaultKinds = 3;
+/// Canonical fault-kind names (the registry keys). configure() rejects
+/// anything else.
+namespace faults {
+inline constexpr const char* kNanGrad = "nan_grad";
+inline constexpr const char* kCorruptCkpt = "corrupt_ckpt";
+inline constexpr const char* kRankFail = "rank_fail";
+inline constexpr const char* kRankJoin = "rank_join";
+inline constexpr const char* kStraggler = "straggler";
+inline constexpr const char* kMsgDrop = "msg_drop";
+inline constexpr const char* kMsgCorrupt = "msg_corrupt";
+}  // namespace faults
 
-const char* fault_kind_name(FaultKind kind);
+/// All kind names configure() accepts, for diagnostics and tests.
+std::vector<std::string_view> fault_kind_names();
 
 /// One recovery (or injection) event, recorded by trainers and the virtual
 /// cluster in the order it happened.
 struct FaultEvent {
   i64 step = 0;        ///< optimizer / training step the event hit
   std::string kind;    ///< signal: "nan_grad", "nonfinite_loss",
-                       ///< "exploding_loss", "worker_exception",
-                       ///< "corrupt_ckpt", "rank_fail", ...
+                       ///< "rank_fail", "rank_evict", "rank_join",
+                       ///< "straggler", "link_degraded", ...
   std::string action;  ///< recovery taken: "rollback_skip_batch",
-                       ///< "reshard", "injected", ...
+                       ///< "reshard", "catchup", "injected", ...
   std::string detail;  ///< free text (exception message, signal values)
 };
 
@@ -67,38 +110,75 @@ struct FaultLog {
   bool empty() const { return events.empty(); }
 };
 
+/// One parsed arm of the fault spec.
+struct FaultArm {
+  std::string kind;
+  i64 at_step = -1;   ///< -1: first opportunity
+  i64 repeat = 1;     ///< deterministic arms: consecutive firing polls
+  f64 prob = -1.0;    ///< >= 0: probabilistic arm (p= qualifier)
+  u64 seed = 0;       ///< probabilistic draw stream
+  f64 factor = -1.0;  ///< straggler slowdown; site default when < 0
+  i64 rank = -1;      ///< target rank id; site default when < 0
+};
+
+/// What a poll site learns when an arm fires (the arm's payload
+/// qualifiers, resolved so the site can honor rank= / factor=).
+struct FiredFault {
+  f64 factor = -1.0;  ///< straggler slowdown; < 0 = site default
+  i64 rank = -1;      ///< target rank id; < 0 = site default
+};
+
 class FaultInjector {
  public:
   /// Process-wide injector, armed from FEKF_FAULT_SPEC on first use.
   static FaultInjector& instance();
 
-  /// (Re-)arm from a spec string; clears previous arms and fired flags.
-  /// Throws Error on a malformed spec.
+  /// (Re-)arm from a spec string; clears previous arms, fired counts and
+  /// probabilistic streams. Throws Error on a malformed spec, naming the
+  /// offending token.
   void configure(const std::string& spec);
+  /// Re-arm from FEKF_FAULT_SPEC (empty spec when the variable is unset).
+  /// Test fixtures use this to restore the ambient environment arms.
+  void configure_from_env();
   /// Disarm everything.
   void clear();
 
-  /// Poll point: true exactly once, when `kind` is armed and `step` has
-  /// reached its trigger step (always true for step-less arms). Thread-safe.
-  bool fire(FaultKind kind, i64 step);
+  /// Poll point. Deterministic arms: true exactly `repeat` times, on the
+  /// first polls whose `step` has reached the trigger step (always
+  /// eligible for step-less arms). Probabilistic arms: an independent
+  /// seeded draw per poll, true with probability p. Thread-safe; draw
+  /// order is the poll order, so single-threaded poll sites stay exactly
+  /// reproducible.
+  bool fire(std::string_view kind, i64 step);
 
-  /// True if `kind` is armed and has not fired yet.
-  bool armed(FaultKind kind) const;
+  /// fire(), plus the arm's payload qualifiers when it fires.
+  std::optional<FiredFault> fire_detail(std::string_view kind, i64 step);
+
+  /// True if `kind` is armed and can still fire.
+  bool armed(std::string_view kind) const;
+
+  /// Parsed arms, in spec order (diagnostics and tests).
+  std::vector<FaultArm> arms() const;
 
   /// Flip one byte in the middle of `path` (the corrupt_ckpt payload).
+  /// Throws Error for a missing or empty file — never indexes past the
+  /// end, even for a one-byte file.
   static void corrupt_file(const std::string& path);
 
  private:
   FaultInjector();
 
-  struct Arm {
-    bool armed = false;
-    bool fired = false;
-    i64 at_step = -1;  ///< -1: first opportunity
+  struct ArmState {
+    FaultArm arm;
+    i64 fired = 0;
+    Rng rng;  ///< probabilistic arms only
   };
 
+  ArmState* find(std::string_view kind);
+  const ArmState* find(std::string_view kind) const;
+
   mutable std::mutex mutex_;
-  Arm arms_[kNumFaultKinds];
+  std::vector<ArmState> arms_;
 };
 
 }  // namespace fekf

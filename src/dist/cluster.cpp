@@ -13,6 +13,13 @@ namespace fekf::dist {
 using train::EnvPtr;
 using train::Measurement;
 
+namespace {
+
+/// Slowdown applied when a straggler arm carries no factor= qualifier.
+constexpr f64 kDefaultStragglerFactor = 4.0;
+
+}  // namespace
+
 void InterconnectModel::validate() const {
   FEKF_CHECK(std::isfinite(bandwidth_gbps) && bandwidth_gbps > 0.0,
              "InterconnectModel.bandwidth_gbps must be finite and > 0 "
@@ -20,6 +27,31 @@ void InterconnectModel::validate() const {
   FEKF_CHECK(std::isfinite(latency_s) && latency_s >= 0.0,
              "InterconnectModel.latency_s must be finite and >= 0 (got " +
                  std::to_string(latency_s) + ")");
+  FEKF_CHECK(std::isfinite(loss_prob) && loss_prob >= 0.0 && loss_prob < 1.0,
+             "InterconnectModel.loss_prob must be in [0, 1) (got " +
+                 std::to_string(loss_prob) + ")");
+  FEKF_CHECK(std::isfinite(corrupt_prob) && corrupt_prob >= 0.0 &&
+                 corrupt_prob < 1.0,
+             "InterconnectModel.corrupt_prob must be in [0, 1) (got " +
+                 std::to_string(corrupt_prob) + ")");
+  FEKF_CHECK(max_retries >= 1,
+             "InterconnectModel.max_retries must be >= 1 (got " +
+                 std::to_string(max_retries) + ")");
+  FEKF_CHECK(std::isfinite(retry_backoff_s) && retry_backoff_s >= 0.0,
+             "InterconnectModel.retry_backoff_s must be finite and >= 0 "
+             "(got " + std::to_string(retry_backoff_s) + ")");
+}
+
+void FailureDetectorConfig::validate() const {
+  FEKF_CHECK(miss_limit >= 1,
+             "FailureDetectorConfig.miss_limit must be >= 1 (got " +
+                 std::to_string(miss_limit) + ")");
+  FEKF_CHECK(std::isfinite(heartbeat_period_s) && heartbeat_period_s >= 0.0,
+             "FailureDetectorConfig.heartbeat_period_s must be finite and "
+             ">= 0 (got " + std::to_string(heartbeat_period_s) + ")");
+  FEKF_CHECK(heartbeat_bytes >= 0,
+             "FailureDetectorConfig.heartbeat_bytes must be >= 0 (got " +
+                 std::to_string(heartbeat_bytes) + ")");
 }
 
 void DistributedConfig::validate() const {
@@ -28,6 +60,303 @@ void DistributedConfig::validate() const {
   options.validate();
   kalman.validate();
   interconnect.validate();
+  detector.validate();
+  FEKF_CHECK(std::isfinite(straggler_wait_factor) &&
+                 straggler_wait_factor >= 1.0,
+             "DistributedConfig.straggler_wait_factor must be >= 1 (got " +
+                 std::to_string(straggler_wait_factor) + ")");
+}
+
+VirtualCluster::VirtualCluster(const DistributedConfig& config,
+                               i64 grad_payload_bytes, i64 covariance_bytes)
+    : config_(config),
+      grad_payload_(grad_payload_bytes),
+      covariance_bytes_(covariance_bytes),
+      link_rng_(config.options.seed ^ 0x6c1a7eULL) {
+  config.validate();
+  FEKF_CHECK(grad_payload_bytes >= 0 && covariance_bytes >= 0,
+             "VirtualCluster payload sizes must be >= 0");
+  members_.reserve(static_cast<std::size_t>(config.ranks));
+  for (i64 r = 0; r < config.ranks; ++r) {
+    Rank rank;
+    rank.id = r;
+    members_.push_back(rank);
+  }
+  next_id_ = config.ranks;
+}
+
+i64 VirtualCluster::live_ranks() const {
+  i64 live = 0;
+  for (const Rank& r : members_) {
+    if (r.alive) ++live;
+  }
+  return live;
+}
+
+train::MembershipCheckpoint VirtualCluster::membership() const {
+  train::MembershipCheckpoint m;
+  m.present = true;
+  m.next_id = next_id_;
+  m.ranks = members_;
+  return m;
+}
+
+void VirtualCluster::restore_membership(
+    const train::MembershipCheckpoint& m) {
+  FEKF_CHECK(m.present, "membership checkpoint carries no member table");
+  i64 live = 0;
+  i64 max_id = -1;
+  for (const Rank& r : m.ranks) {
+    FEKF_CHECK(r.id >= 0, "membership checkpoint has a negative rank id");
+    FEKF_CHECK(r.slowdown > 0.0,
+               "membership checkpoint rank slowdown must be > 0");
+    if (r.alive) ++live;
+    max_id = std::max(max_id, r.id);
+  }
+  FEKF_CHECK(live >= 1, "membership checkpoint has no live ranks");
+  FEKF_CHECK(m.next_id > max_id,
+             "membership checkpoint next_id collides with an existing rank");
+  members_ = m.ranks;
+  next_id_ = m.next_id;
+}
+
+VirtualCluster::Rank* VirtualCluster::find_live(i64 id) {
+  for (Rank& r : members_) {
+    if (r.alive && r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+VirtualCluster::Rank* VirtualCluster::pick_victim(i64 preferred_id) {
+  if (preferred_id >= 0) {
+    if (Rank* r = find_live(preferred_id)) return r;
+  }
+  Rank* victim = nullptr;
+  for (Rank& r : members_) {
+    if (r.alive && (victim == nullptr || r.id > victim->id)) victim = &r;
+  }
+  return victim;
+}
+
+void VirtualCluster::record(FaultLog& log, i64 step, const char* kind,
+                            const char* trace_name, const char* action,
+                            std::string detail) {
+  log.record(step, kind, action, std::move(detail));
+  // trace_name must be a string literal: TraceEvent keeps the pointer.
+  obs::TraceRecorder::instance().instant(
+      trace_name, "fault", "step", static_cast<f64>(step), "live_ranks",
+      static_cast<f64>(live_ranks()));
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry::instance()
+        .counter("dist.fault." + std::string(kind))
+        .inc();
+  }
+  for (train::TrainObserver* observer : config_.options.observers) {
+    observer->on_fault(log.events.back());
+  }
+}
+
+void VirtualCluster::evict(Rank& rank, i64 step, FaultLog& log,
+                           const char* why) {
+  FEKF_CHECK(live_ranks() > 1,
+             "rank eviction left no surviving ranks (rank " +
+                 std::to_string(rank.id) + ", " + why + ")");
+  rank.alive = false;
+  const i64 survivors = live_ranks();
+  // Survivors take over the dead rank's shard and re-sync the
+  // authoritative weights: one weight-payload allreduce among them.
+  const f64 reshard_s =
+      config_.interconnect.allreduce_seconds(grad_payload_, survivors);
+  ++ledger_.reshard_events;
+  ++ledger_.evictions;
+  ledger_.reshard_bytes +=
+      InterconnectModel::allreduce_bytes(grad_payload_, survivors);
+  ledger_.reshard_seconds += reshard_s;
+  record(log, step, "rank_evict", "fault.rank_evict", "reshard",
+         "rank " + std::to_string(rank.id) + " evicted (" + why + "); " +
+             std::to_string(survivors) + " survivors");
+}
+
+f64 VirtualCluster::poll_faults(i64 step, FaultLog& log) {
+  const f64 sim_before =
+      ledger_.reshard_seconds + ledger_.join_seconds +
+      ledger_.heartbeat_seconds;
+  auto& injector = FaultInjector::instance();
+
+  // 1. Injected rank failure: the victim stops heartbeating. It is NOT
+  // removed here — the failure detector below decides, deterministically,
+  // when the silence becomes an eviction.
+  if (auto fired = injector.fire_detail(faults::kRankFail, step)) {
+    FEKF_CHECK(live_ranks() > 1,
+               "injected rank failure left no surviving ranks");
+    Rank* victim = pick_victim(fired->rank);
+    victim->silent = true;
+    record(log, step, "rank_fail", "fault.rank_fail", "silenced",
+           "rank " + std::to_string(victim->id) + " stopped heartbeating");
+  }
+
+  // 2. Injected straggler: the victim's compute slows down by factor=.
+  if (auto fired = injector.fire_detail(faults::kStraggler, step)) {
+    Rank* victim = pick_victim(fired->rank);
+    FEKF_CHECK(victim != nullptr, "straggler injection with no live ranks");
+    victim->slowdown =
+        fired->factor > 0.0 ? fired->factor : kDefaultStragglerFactor;
+    ++ledger_.straggler_events;
+    record(log, step, "straggler", "fault.straggler", "injected",
+           "rank " + std::to_string(victim->id) + " slowed " +
+               std::to_string(victim->slowdown) + "x");
+  }
+
+  // 3. Injected join: a fresh rank is admitted and catches up by receiving
+  // the authoritative weights plus its covariance shard, point-to-point.
+  if (injector.fire_detail(faults::kRankJoin, step)) {
+    Rank joiner;
+    joiner.id = next_id_++;
+    members_.push_back(joiner);
+    const i64 catchup_bytes = grad_payload_ + covariance_bytes_;
+    const f64 catchup_s =
+        config_.interconnect.message_seconds(catchup_bytes);
+    ++ledger_.join_events;
+    ledger_.join_bytes += catchup_bytes;
+    ledger_.join_seconds += catchup_s;
+    record(log, step, "rank_join", "fault.rank_join", "catchup",
+           "rank " + std::to_string(members_.back().id) + " joined; caught "
+           "up " + std::to_string(catchup_bytes) + " bytes");
+  }
+
+  // 4. Straggler policy: under kDropReshard, ranks slower than the bounded
+  // wait admits are evicted rather than waited for.
+  if (config_.straggler_policy == StragglerPolicy::kDropReshard) {
+    for (Rank& r : members_) {
+      if (r.alive && r.slowdown > config_.straggler_wait_factor) {
+        evict(r, step, log, "straggler beyond bounded wait");
+      }
+    }
+  }
+
+  // 5. Heartbeat failure detector: one evaluation per step boundary; a
+  // silent rank accrues one miss per evaluation and is evicted at
+  // miss_limit. Eviction branches ONLY on the miss count — the simulated
+  // detection latency is reported, never consulted.
+  for (Rank& r : members_) {
+    if (!r.alive || !r.silent) continue;
+    ++r.missed;
+    if (r.missed >= config_.detector.miss_limit) {
+      ledger_.detection_seconds += static_cast<f64>(r.missed) *
+                                   config_.detector.heartbeat_period_s;
+      evict(r, step, log, "heartbeat timeout");
+    }
+  }
+
+  // 6. The step's heartbeat traffic (live ranks report in, overlapped — a
+  // single message latency on the simulated clock).
+  const i64 live = live_ranks();
+  if (live > 1) {
+    ledger_.heartbeats += live;
+    ledger_.heartbeat_bytes += live * config_.detector.heartbeat_bytes;
+    const f64 hb_s =
+        config_.interconnect.message_seconds(config_.detector.heartbeat_bytes);
+    ledger_.heartbeat_seconds += hb_s;
+  }
+
+  const f64 sim_after =
+      ledger_.reshard_seconds + ledger_.join_seconds +
+      ledger_.heartbeat_seconds;
+  return sim_after - sim_before;
+}
+
+f64 VirtualCluster::allreduce(i64 payload_bytes, i64 step) {
+  const i64 ranks = live_ranks();
+  if (ranks <= 1) return 0.0;
+  const InterconnectModel& net = config_.interconnect;
+  auto& injector = FaultInjector::instance();
+  const bool lossy = net.loss_prob > 0.0 || net.corrupt_prob > 0.0 ||
+                     injector.armed(faults::kMsgDrop) ||
+                     injector.armed(faults::kMsgCorrupt);
+  if (!lossy) {
+    const f64 s = net.allreduce_seconds(payload_bytes, ranks);
+    ledger_.comm_seconds += s;
+    return s;
+  }
+
+  // Per-message simulation: 2(r-1) hop rounds, r concurrent messages per
+  // round; a round lasts as long as its slowest message, including retry
+  // backoff. With every draw passing this reduces to the closed-form
+  // alpha-beta cost, so arming a zero-probability fault costs nothing.
+  const f64 chunk =
+      static_cast<f64>(payload_bytes) / static_cast<f64>(ranks);
+  const f64 msg_s = net.latency_s + chunk / (net.bandwidth_gbps * 1e9);
+  const i64 rounds = 2 * (ranks - 1);
+  f64 total = 0.0;
+  for (i64 round = 0; round < rounds; ++round) {
+    f64 round_s = msg_s;
+    for (i64 m = 0; m < ranks; ++m) {
+      f64 t = msg_s;
+      i64 failures = 0;
+      while (true) {
+        const bool dropped =
+            (net.loss_prob > 0.0 && link_rng_.uniform() < net.loss_prob) ||
+            injector.fire(faults::kMsgDrop, step);
+        bool corrupted = false;
+        if (!dropped) {
+          corrupted = (net.corrupt_prob > 0.0 &&
+                       link_rng_.uniform() < net.corrupt_prob) ||
+                      injector.fire(faults::kMsgCorrupt, step);
+        }
+        if (!dropped && !corrupted) break;
+        if (dropped) {
+          ++ledger_.msg_drops;
+        } else {
+          ++ledger_.msg_corrupts;
+        }
+        ++failures;
+        if (failures > net.max_retries) {
+          // Retry budget exhausted: force the message through the slow
+          // side channel and flag the sender; the failure detector decides
+          // its fate at the next step boundary.
+          i64 slot = 0;
+          for (Rank& r : members_) {
+            if (!r.alive) continue;
+            if (slot == m) {
+              r.silent = true;
+              break;
+            }
+            ++slot;
+          }
+          break;
+        }
+        const f64 backoff =
+            net.retry_backoff_s * static_cast<f64>(1LL << (failures - 1));
+        t += backoff + msg_s;
+        ++ledger_.retries;
+        ledger_.retry_seconds += backoff + msg_s;
+      }
+      round_s = std::max(round_s, t);
+    }
+    total += round_s;
+  }
+  ledger_.comm_seconds += total;
+  return total;
+}
+
+f64 VirtualCluster::compute_seconds(
+    const std::vector<f64>& measured_seconds) {
+  f64 nominal = 0.0;
+  f64 slowed = 0.0;
+  std::size_t slot = 0;
+  for (const Rank& r : members_) {
+    if (!r.alive) continue;
+    const f64 t = slot < measured_seconds.size() ? measured_seconds[slot]
+                                                 : 0.0;
+    nominal = std::max(nominal, t);
+    slowed = std::max(slowed, t * r.slowdown);
+    ++slot;
+  }
+  if (slowed <= nominal) return nominal;
+  const f64 used =
+      std::min(slowed, config_.straggler_wait_factor * nominal);
+  ledger_.straggler_wait_seconds += used - nominal;
+  return used;
 }
 
 namespace {
@@ -64,9 +393,9 @@ DistributedResult train_fekf_distributed(
   config.validate();
   FEKF_CHECK(config.options.batch_size >= config.ranks,
              "global batch must cover all ranks");
+  FEKF_CHECK(!train_envs.empty(), "empty training set");
 
   DistributedResult result;
-  i64 live_ranks = config.ranks;
   optim::FlatParams flat(model.parameters());
   auto blocks =
       optim::split_blocks(model.parameter_layout(), config.kalman.blocksize);
@@ -76,22 +405,53 @@ DistributedResult train_fekf_distributed(
   flat.gather(weights);
 
   const i64 grad_payload = flat.size() * static_cast<i64>(sizeof(f64));
+  VirtualCluster cluster(config, grad_payload, kalman.p_bytes());
   const i64 natoms = train_envs.front()->natoms;
   Rng group_rng(config.options.seed ^ 0xd1570ULL);
   data::BatchSampler sampler(static_cast<i64>(train_envs.size()),
                              config.options.batch_size, config.options.seed);
 
-  // One reduced update: run every rank's shard for real, take the
-  // simulated step time as max(shard) + allreduce + (one) KF update.
+  i64 start_epoch = 1;
+  if (!config.options.resume_from.empty()) {
+    train::LoadedCheckpoint loaded =
+        train::load_checkpoint(config.options.resume_from);
+    train::TrainingCheckpoint& ckpt = loaded.state;
+    FEKF_CHECK(ckpt.layout == model.parameter_layout(),
+               "checkpoint '" + config.options.resume_from +
+                   "' does not match the model architecture "
+                   "(parameter layout differs)");
+    FEKF_CHECK(ckpt.optimizer.kind ==
+                   train::OptimizerCheckpoint::Kind::kKalman,
+               "checkpoint optimizer state is not a shared-P Kalman filter");
+    FEKF_CHECK(ckpt.has_group_rng,
+               "checkpoint is missing the force-group RNG stream");
+    weights = std::move(ckpt.weights);
+    flat.scatter(weights);
+    kalman.set_state(ckpt.optimizer.kalman);
+    sampler.set_state(ckpt.sampler);
+    group_rng.set_state(ckpt.group_rng);
+    result.train.steps = ckpt.steps;
+    result.train.history = std::move(ckpt.history);
+    result.train.faults = std::move(ckpt.faults);
+    start_epoch = ckpt.epoch;
+    if (ckpt.membership.present) cluster.restore_membership(ckpt.membership);
+  }
+
+  i64 current_step = 0;
+  std::vector<f64> shard_seconds;
+
+  // One reduced update: run every live rank's shard for real, take the
+  // simulated step time as max(shard, straggler-bounded) + allreduce +
+  // (one) KF update.
   auto reduced_update =
       [&](std::span<const EnvPtr> batch,
           const std::function<Measurement(std::span<const EnvPtr>)>& measure,
           std::optional<f64> step_norm_cap) {
         const i64 bs = static_cast<i64>(batch.size());
-        const i64 ranks = live_ranks;
+        const i64 ranks = cluster.live_ranks();
         std::fill(grad.begin(), grad.end(), 0.0);
+        shard_seconds.assign(static_cast<std::size_t>(ranks), 0.0);
         f64 abe = 0.0;
-        f64 max_shard_seconds = 0.0;
         for (i64 r = 0; r < ranks; ++r) {
           const i64 lo = r * bs / ranks;
           const i64 hi = (r + 1) * bs / ranks;
@@ -109,17 +469,17 @@ DistributedResult train_fekf_distributed(
             grad[i] += shard.grad[i] * shard_weight;
           }
           abe += shard.abe * shard_weight;
-          max_shard_seconds = std::max(max_shard_seconds, shard.seconds);
+          shard_seconds[static_cast<std::size_t>(r)] = shard.seconds;
         }
+        const f64 compute_s = cluster.compute_seconds(shard_seconds);
         // Ring allreduce of the reduced gradient + the scalar error. P is
         // NOT communicated: every rank applies the identical update below.
         // The collective is simulated, so its span is a near-zero sliver on
         // the real timeline whose args carry the ledger's accounting: the
         // simulated allreduce seconds and the bytes moved.
         const f64 comm_s =
-            config.interconnect.allreduce_seconds(grad_payload, ranks) +
-            config.interconnect.allreduce_seconds(
-                static_cast<i64>(sizeof(f64)), ranks);
+            cluster.allreduce(grad_payload, current_step) +
+            cluster.allreduce(static_cast<i64>(sizeof(f64)), current_step);
         const i64 comm_bytes =
             InterconnectModel::allreduce_bytes(grad_payload, ranks) +
             InterconnectModel::allreduce_bytes(static_cast<i64>(sizeof(f64)),
@@ -129,19 +489,19 @@ DistributedResult train_fekf_distributed(
           comm_span.arg("sim_seconds", comm_s);
           comm_span.arg("bytes", static_cast<f64>(comm_bytes));
         }
-        result.comm.gradient_bytes +=
+        CommLedger& ledger = cluster.ledger();
+        ledger.gradient_bytes +=
             InterconnectModel::allreduce_bytes(grad_payload, ranks);
-        result.comm.error_bytes += InterconnectModel::allreduce_bytes(
+        ledger.error_bytes += InterconnectModel::allreduce_bytes(
             static_cast<i64>(sizeof(f64)), ranks);
-        result.comm.comm_seconds += comm_s;
-        ++result.comm.steps;
+        ++ledger.steps;
         if (obs::metrics_enabled()) {
           auto& metrics = obs::MetricsRegistry::instance();
           metrics.counter("dist.allreduce_bytes")
               .inc(comm_bytes);
           metrics.counter("dist.allreduces").inc();
           metrics.gauge("dist.sim_comm_seconds")
-              .set(result.comm.comm_seconds);
+              .set(ledger.comm_seconds);
         }
 
         Stopwatch kf_watch;
@@ -154,47 +514,22 @@ DistributedResult train_fekf_distributed(
           kf_seconds = kf_watch.seconds();
         }
 
-        result.compute_seconds += max_shard_seconds + kf_seconds;
-        result.simulated_seconds += max_shard_seconds + comm_s + kf_seconds;
+        result.compute_seconds += compute_s + kf_seconds;
+        result.simulated_seconds += compute_s + comm_s + kf_seconds;
       };
 
   Stopwatch total_watch;
   std::vector<i64> indices;
   std::vector<EnvPtr> batch;
-  for (i64 epoch = 1; epoch <= config.options.max_epochs; ++epoch) {
+  for (i64 epoch = start_epoch; epoch <= config.options.max_epochs; ++epoch) {
     while (sampler.next(indices)) {
       batch.clear();
       for (const i64 idx : indices) {
         batch.push_back(train_envs[static_cast<std::size_t>(idx)]);
       }
-      const i64 step_index = result.train.steps + 1;
-      if (FaultInjector::instance().fire(FaultKind::kRankFail, step_index)) {
-        // The highest live rank dies. Its batch shard is redistributed
-        // across the survivors by the lo/hi split above, and the survivors
-        // re-sync the authoritative weights — charged to the simulated
-        // clock as one weight-payload allreduce among the survivors.
-        FEKF_CHECK(live_ranks > 1,
-                   "injected rank failure left no surviving ranks");
-        --live_ranks;
-        const f64 reshard_s =
-            config.interconnect.allreduce_seconds(grad_payload, live_ranks);
-        result.comm.reshard_events += 1;
-        result.comm.reshard_bytes +=
-            InterconnectModel::allreduce_bytes(grad_payload, live_ranks);
-        result.comm.reshard_seconds += reshard_s;
-        result.simulated_seconds += reshard_s;
-        result.train.faults.record(
-            step_index, "rank_fail", "reshard",
-            "rank " + std::to_string(live_ranks) + " failed; " +
-                std::to_string(live_ranks) + " survivors");
-        obs::TraceRecorder::instance().instant(
-            "fault.rank_fail", "fault", "step",
-            static_cast<f64>(step_index), "survivors",
-            static_cast<f64>(live_ranks));
-        for (train::TrainObserver* observer : config.options.observers) {
-          observer->on_fault(result.train.faults.events.back());
-        }
-      }
+      current_step = result.train.steps + 1;
+      result.simulated_seconds +=
+          cluster.poll_faults(current_step, result.train.faults);
       reduced_update(
           batch,
           [&](std::span<const EnvPtr> shard) {
@@ -213,6 +548,30 @@ DistributedResult train_fekf_distributed(
             /*step_norm_cap=*/std::nullopt);
       }
       ++result.train.steps;
+      if (config.options.checkpoint_every > 0 &&
+          result.train.steps % config.options.checkpoint_every == 0) {
+        Stopwatch ckpt_watch;
+        train::TrainingCheckpoint ckpt;
+        ckpt.epoch = epoch;
+        ckpt.steps = result.train.steps;
+        ckpt.layout = model.parameter_layout();
+        ckpt.weights = weights;
+        ckpt.optimizer.kind = train::OptimizerCheckpoint::Kind::kKalman;
+        ckpt.optimizer.kalman = kalman.state();
+        ckpt.sampler = sampler.state();
+        ckpt.has_group_rng = true;
+        ckpt.group_rng = group_rng.state();
+        ckpt.history = result.train.history;
+        ckpt.faults = result.train.faults;
+        ckpt.membership = cluster.membership();
+        train::save_checkpoint(ckpt, model, config.options.checkpoint_path);
+        result.train.checkpoint_seconds += ckpt_watch.seconds();
+        if (obs::metrics_enabled()) {
+          obs::MetricsRegistry::instance()
+              .counter("dist.checkpoints")
+              .inc();
+        }
+      }
     }
     train::EpochRecord record;
     record.epoch = epoch;
@@ -239,7 +598,9 @@ DistributedResult train_fekf_distributed(
     }
   }
   result.train.total_seconds = total_watch.seconds();
-  result.surviving_ranks = live_ranks;
+  result.surviving_ranks = cluster.live_ranks();
+  result.membership = cluster.membership();
+  result.comm = cluster.ledger();
   if (!result.train.history.empty()) {
     result.train.final_train = result.train.history.back().train;
     result.train.final_test = result.train.history.back().test;

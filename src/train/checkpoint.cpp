@@ -196,6 +196,25 @@ void save_checkpoint(const TrainingCheckpoint& ckpt,
     w.bytes(e.detail);
   }
 
+  w.key("section");
+  w.token("membership");
+  w.key("present");
+  w.i64v(ckpt.membership.present ? 1 : 0);
+  if (ckpt.membership.present) {
+    w.key("next_id");
+    w.i64v(ckpt.membership.next_id);
+    w.key("ranks");
+    w.size(ckpt.membership.ranks.size());
+    for (const MembershipCheckpoint::Rank& rank : ckpt.membership.ranks) {
+      w.key("rank");
+      w.i64v(rank.id);
+      w.i64v(rank.alive ? 1 : 0);
+      w.i64v(rank.silent ? 1 : 0);
+      w.f64v(rank.slowdown);
+      w.i64v(rank.missed);
+    }
+  }
+
   w.key("end");
   w.end_line();
 
@@ -312,6 +331,28 @@ LoadedCheckpoint load_checkpoint(const std::string& path) {
     e.action = r.read_bytes();
     e.detail = r.read_bytes();
     ckpt.faults.events.push_back(std::move(e));
+  }
+
+  r.expect("section");
+  r.expect("membership");
+  r.expect("present");
+  ckpt.membership.present = r.read_i64() != 0;
+  if (ckpt.membership.present) {
+    r.expect("next_id");
+    ckpt.membership.next_id = r.read_i64();
+    r.expect("ranks");
+    const u64 nranks = r.read_u64();
+    for (u64 i = 0; i < nranks; ++i) {
+      MembershipCheckpoint::Rank rank;
+      r.expect("rank");
+      rank.id = r.read_i64();
+      rank.alive = r.read_i64() != 0;
+      rank.silent = r.read_i64() != 0;
+      rank.slowdown = r.read_f64();
+      if (!(rank.slowdown > 0.0)) r.malformed("rank slowdown must be > 0");
+      rank.missed = r.read_i64();
+      ckpt.membership.ranks.push_back(rank);
+    }
   }
 
   r.expect("end");

@@ -46,6 +46,25 @@ struct OptimizerCheckpoint {
   optim::AdamState adam;                     ///< kAdam
 };
 
+/// Elastic virtual-cluster membership (dist/cluster.hpp). Lives here, not
+/// in dist, because dist already depends on train; the cluster fills it in
+/// when checkpointing so a resumed distributed run continues with the same
+/// live set, straggler factors and detector miss counts — resuming with
+/// fewer live ranks than the original would silently change the shard
+/// split and break the bit-identical-resume contract.
+struct MembershipCheckpoint {
+  struct Rank {
+    i64 id = 0;          ///< stable rank id (never reused after eviction)
+    bool alive = true;   ///< participates in sharding + allreduce
+    bool silent = false; ///< stopped heartbeating; detector is counting
+    f64 slowdown = 1.0;  ///< straggler compute multiplier (1 = nominal)
+    i64 missed = 0;      ///< consecutive heartbeats missed so far
+  };
+  bool present = false;  ///< single-process runs leave this off
+  i64 next_id = 0;       ///< id the next joining rank receives
+  std::vector<Rank> ranks;
+};
+
 struct TrainingCheckpoint {
   i64 epoch = 1;  ///< epoch the run was inside when checkpointed
   i64 steps = 0;  ///< optimizer steps completed so far
@@ -65,6 +84,7 @@ struct TrainingCheckpoint {
 
   std::vector<EpochRecord> history;  ///< epochs completed before the cut
   FaultLog faults;                   ///< recovery events so far
+  MembershipCheckpoint membership;   ///< elastic-cluster runs only
 };
 
 /// Serialize checkpoint + model to `path`. Atomic (temp file + rename);

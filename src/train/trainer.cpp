@@ -231,7 +231,7 @@ TrainResult run_resilient_epochs(deepmd::DeepmdModel& model,
         ckpt.faults = result.faults;
         hooks.capture(ckpt);
         save_checkpoint(ckpt, model, options.checkpoint_path);
-        if (FaultInjector::instance().fire(FaultKind::kCorruptCkpt,
+        if (FaultInjector::instance().fire(faults::kCorruptCkpt,
                                            result.steps)) {
           FaultInjector::corrupt_file(options.checkpoint_path);
           result.faults.record(result.steps, "corrupt_ckpt",
@@ -386,7 +386,7 @@ TrainResult AdamTrainer::train(std::span<const EnvPtr> train_envs,
       auto g = ag::grad(loss, params);
       flat_.gather_grads(g, grads_);
     }
-    if (FaultInjector::instance().fire(FaultKind::kNanGrad, step_index)) {
+    if (FaultInjector::instance().fire(faults::kNanGrad, step_index)) {
       grads_[0] = std::numeric_limits<f64>::quiet_NaN();
     }
     const f64 grad_norm2 = squared_norm(grads_);
@@ -457,7 +457,7 @@ void KalmanTrainer::apply_fekf(const Measurement& measurement,
     auto g = ag::grad(measurement.m, params);
     flat_.gather_grads(g, grad_flat_);
   }
-  if (FaultInjector::instance().fire(FaultKind::kNanGrad, current_step_)) {
+  if (FaultInjector::instance().fire(faults::kNanGrad, current_step_)) {
     grad_flat_[0] = std::numeric_limits<f64>::quiet_NaN();
   }
   {
@@ -483,7 +483,7 @@ void KalmanTrainer::apply_naive_sample(i64 slot,
     auto g = ag::grad(measurement.m, params);
     flat_.gather_grads(g, grad_flat_);
   }
-  if (FaultInjector::instance().fire(FaultKind::kNanGrad, current_step_)) {
+  if (FaultInjector::instance().fire(faults::kNanGrad, current_step_)) {
     grad_flat_[0] = std::numeric_limits<f64>::quiet_NaN();
   }
   {

@@ -1,0 +1,348 @@
+// Elastic virtual-cluster tests (DESIGN.md §10): membership lifecycle
+// (join catch-up, heartbeat eviction, miss_limit delay), degraded links
+// (drop/corrupt + retry preserving bit-identical weights), stragglers
+// (bounded wait vs drop-and-reshard), membership checkpoint/resume, and
+// the determinism contract — fault-free vs injected-and-recovered runs
+// produce identical weights exactly where the contract promises it.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/fault.hpp"
+#include "data/dataset.hpp"
+#include "dist/cluster.hpp"
+
+namespace fekf::dist {
+namespace {
+
+/// Pins the injector to `spec` for the test, restoring the ambient
+/// FEKF_FAULT_SPEC arms on scope exit.
+struct InjectorGuard {
+  explicit InjectorGuard(const std::string& spec = {}) {
+    FaultInjector::instance().configure(spec);
+  }
+  ~InjectorGuard() { FaultInjector::instance().configure_from_env(); }
+};
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string(::testing::TempDir()) + name + "." +
+             std::to_string(static_cast<long long>(::getpid()))) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+struct Fixture {
+  data::Dataset dataset;
+  std::unique_ptr<deepmd::DeepmdModel> model;
+  std::vector<train::EnvPtr> train_envs;
+};
+
+Fixture make_fixture(i64 per_temp = 2) {
+  Fixture f;
+  data::DatasetConfig dcfg;
+  dcfg.train_per_temperature = per_temp;
+  dcfg.test_per_temperature = 1;
+  deepmd::ModelConfig mcfg;
+  mcfg.rcut = 5.0;
+  mcfg.rcut_smth = 2.5;
+  mcfg.embed_width = 8;
+  mcfg.axis_neurons = 4;
+  mcfg.fitting_width = 16;
+  const data::SystemSpec& spec = data::get_system("Cu");
+  f.dataset = data::build_dataset(spec, dcfg);
+  f.model = std::make_unique<deepmd::DeepmdModel>(mcfg, 1);
+  f.model->fit_stats(f.dataset.train);
+  f.train_envs = train::prepare_all(*f.model, f.dataset.train);
+  return f;
+}
+
+DistributedConfig base_config(i64 ranks, i64 batch, i64 epochs = 1) {
+  DistributedConfig cfg;
+  cfg.ranks = ranks;
+  cfg.options.batch_size = batch;
+  cfg.options.max_epochs = epochs;
+  cfg.options.eval_max_samples = 4;
+  cfg.kalman.blocksize = 1024;
+  return cfg;
+}
+
+std::vector<f64> gather_weights(deepmd::DeepmdModel& model) {
+  optim::FlatParams flat(model.parameters());
+  std::vector<f64> w(static_cast<std::size_t>(flat.size()));
+  flat.gather(w);
+  return w;
+}
+
+i64 event_step(const FaultLog& log, const char* kind) {
+  for (const FaultEvent& e : log.events) {
+    if (e.kind == kind) return e.step;
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Membership lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(Elastic, JoinChargesCatchupTransferToLedger) {
+  InjectorGuard guard("rank_join@step=2");
+  Fixture f = make_fixture(2);
+  DistributedConfig cfg = base_config(2, 2);
+  DistributedResult result =
+      train_fekf_distributed(*f.model, f.train_envs, {}, cfg);
+  EXPECT_EQ(result.comm.join_events, 1);
+  // The joiner catches up on the authoritative weights PLUS its covariance
+  // shard — strictly more than the weight payload alone.
+  optim::FlatParams flat(f.model->parameters());
+  EXPECT_GT(result.comm.join_bytes, flat.size() * 8);
+  EXPECT_GT(result.comm.join_seconds, 0.0);
+  EXPECT_EQ(result.train.faults.count("rank_join"), 1);
+  EXPECT_EQ(result.surviving_ranks, 3);
+  ASSERT_TRUE(result.membership.present);
+  EXPECT_EQ(result.membership.ranks.size(), 3u);
+  EXPECT_EQ(result.membership.next_id, 3);
+  // Heartbeat traffic is accounted once the ring has >1 live rank.
+  EXPECT_GT(result.comm.heartbeats, 0);
+  EXPECT_GT(result.comm.heartbeat_seconds, 0.0);
+}
+
+TEST(Elastic, FailThenJoinIsBitReproducibleAcrossInvocations) {
+  // The ISSUE acceptance run: a rank dies at step 30, a fresh one joins at
+  // step 60. Membership changes alter the shard split, so the weights
+  // differ from a fault-free run — but the documented contract is that two
+  // invocations of the same spec reproduce each other bit-for-bit.
+  auto run = []() {
+    InjectorGuard guard("rank_fail@step=30,rank_join@step=60");
+    Fixture f = make_fixture(13);  // 65 envs, batch 2 -> 32 steps/epoch
+    DistributedConfig cfg = base_config(2, 2, 2);
+    DistributedResult result =
+        train_fekf_distributed(*f.model, f.train_envs, {}, cfg);
+    EXPECT_GE(result.train.steps, 60);
+    EXPECT_EQ(result.train.faults.count("rank_fail"), 1);
+    EXPECT_EQ(result.train.faults.count("rank_evict"), 1);
+    EXPECT_EQ(result.train.faults.count("rank_join"), 1);
+    EXPECT_EQ(event_step(result.train.faults, "rank_fail"), 30);
+    EXPECT_EQ(event_step(result.train.faults, "rank_join"), 60);
+    EXPECT_EQ(result.comm.evictions, 1);
+    EXPECT_EQ(result.comm.join_events, 1);
+    EXPECT_EQ(result.surviving_ranks, 2);
+    EXPECT_TRUE(std::isfinite(result.train.final_train.energy_rmse));
+    return gather_weights(*f.model);
+  };
+  const std::vector<f64> a = run();
+  const std::vector<f64> b = run();
+  EXPECT_EQ(a, b);  // bit-exact
+}
+
+TEST(Elastic, MissLimitDelaysEvictionDeterministically) {
+  InjectorGuard guard("rank_fail@step=2");
+  Fixture f = make_fixture(2);
+  DistributedConfig cfg = base_config(3, 3, 2);  // 3 steps/epoch, 6 steps
+  cfg.detector.miss_limit = 3;
+  DistributedResult result =
+      train_fekf_distributed(*f.model, f.train_envs, {}, cfg);
+  // Silenced at step 2; misses accrue at steps 2, 3, 4 -> evicted at 4.
+  EXPECT_EQ(event_step(result.train.faults, "rank_fail"), 2);
+  EXPECT_EQ(event_step(result.train.faults, "rank_evict"), 4);
+  EXPECT_EQ(result.surviving_ranks, 2);
+  EXPECT_EQ(result.comm.evictions, 1);
+  EXPECT_NEAR(result.comm.detection_seconds,
+              3.0 * cfg.detector.heartbeat_period_s, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded links: simulated-time-only faults preserve weights bit-exactly
+// ---------------------------------------------------------------------------
+
+TEST(Elastic, LinkFaultsCostTimeButPreserveWeightsBitExactly) {
+  Fixture clean = make_fixture(2);
+  DistributedConfig cfg = base_config(3, 3);
+  std::vector<f64> clean_weights;
+  f64 clean_comm = 0.0;
+  {
+    InjectorGuard guard;
+    DistributedResult result =
+        train_fekf_distributed(*clean.model, clean.train_envs, {}, cfg);
+    clean_weights = gather_weights(*clean.model);
+    clean_comm = result.comm.comm_seconds;
+  }
+  Fixture faulty = make_fixture(2);
+  {
+    InjectorGuard guard(
+        "msg_drop@p=0.05,seed=11,msg_corrupt@p=0.05,seed=13");
+    DistributedResult result =
+        train_fekf_distributed(*faulty.model, faulty.train_envs, {}, cfg);
+    EXPECT_GT(result.comm.msg_drops, 0);
+    EXPECT_GT(result.comm.msg_corrupts, 0);
+    EXPECT_GT(result.comm.retries, 0);
+    EXPECT_GT(result.comm.retry_seconds, 0.0);
+    EXPECT_GT(result.comm.comm_seconds, clean_comm);
+    EXPECT_EQ(result.surviving_ranks, 3);  // retries succeeded, no eviction
+  }
+  // Dropped/corrupted messages are retried, never lost: the gradients and
+  // therefore the weights are untouched by link chaos.
+  EXPECT_EQ(gather_weights(*faulty.model), clean_weights);
+}
+
+TEST(Elastic, SeededMsgDropRunIsBitReproducible) {
+  auto run = []() {
+    InjectorGuard guard("msg_drop@p=0.01,seed=7");
+    Fixture f = make_fixture(4);  // 20 envs, batch 4, ranks 4
+    DistributedConfig cfg = base_config(4, 4);
+    DistributedResult result =
+        train_fekf_distributed(*f.model, f.train_envs, {}, cfg);
+    return std::make_pair(gather_weights(*f.model), result.comm);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);  // identical weights, bit for bit
+  EXPECT_EQ(a.second.msg_drops, b.second.msg_drops);
+  EXPECT_EQ(a.second.retries, b.second.retries);
+  EXPECT_EQ(a.second.retry_seconds, b.second.retry_seconds);
+  EXPECT_GT(a.second.msg_drops, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Stragglers: bounded wait vs drop-and-reshard
+// ---------------------------------------------------------------------------
+
+TEST(Elastic, StragglerWaitPolicyCostsTimeOnly) {
+  Fixture clean = make_fixture(2);
+  DistributedConfig cfg = base_config(3, 3);
+  std::vector<f64> clean_weights;
+  {
+    InjectorGuard guard;
+    train_fekf_distributed(*clean.model, clean.train_envs, {}, cfg);
+    clean_weights = gather_weights(*clean.model);
+  }
+  Fixture slow = make_fixture(2);
+  {
+    InjectorGuard guard("straggler@step=2,factor=8");
+    DistributedResult result =
+        train_fekf_distributed(*slow.model, slow.train_envs, {}, cfg);
+    EXPECT_EQ(result.comm.straggler_events, 1);
+    EXPECT_GT(result.comm.straggler_wait_seconds, 0.0);
+    EXPECT_EQ(result.surviving_ranks, 3);  // kWait never evicts
+    EXPECT_EQ(result.train.faults.count("straggler"), 1);
+    EXPECT_EQ(result.train.faults.count("rank_evict"), 0);
+  }
+  // Waiting costs simulated time only — the update itself is unchanged.
+  EXPECT_EQ(gather_weights(*slow.model), clean_weights);
+}
+
+TEST(Elastic, StragglerDropPolicyEvictsBeyondBound) {
+  InjectorGuard guard("straggler@step=2,factor=8");
+  Fixture f = make_fixture(2);
+  DistributedConfig cfg = base_config(3, 3);
+  cfg.straggler_policy = StragglerPolicy::kDropReshard;
+  // factor 8 exceeds the bounded wait (3x nominal): drop and reshard.
+  DistributedResult result =
+      train_fekf_distributed(*f.model, f.train_envs, {}, cfg);
+  EXPECT_EQ(result.train.faults.count("straggler"), 1);
+  EXPECT_EQ(result.train.faults.count("rank_evict"), 1);
+  EXPECT_EQ(result.comm.evictions, 1);
+  EXPECT_EQ(result.surviving_ranks, 2);
+  EXPECT_EQ(result.comm.straggler_wait_seconds, 0.0);
+  EXPECT_TRUE(std::isfinite(result.train.final_train.energy_rmse));
+}
+
+// ---------------------------------------------------------------------------
+// Membership survives checkpoint/resume
+// ---------------------------------------------------------------------------
+
+TEST(Elastic, MembershipCheckpointResumeReproducesTrajectory) {
+  TempFile file("fekf_elastic_resume.ckpt");
+  DistributedConfig cfg = base_config(3, 3, 2);  // 4 steps/epoch, 8 steps
+
+  // Reference run: rank 2 dies at step 2; checkpoint cut at step 6.
+  Fixture a = make_fixture(2);
+  std::vector<f64> reference;
+  {
+    InjectorGuard guard("rank_fail@step=2");
+    DistributedConfig ckpt_cfg = cfg;
+    ckpt_cfg.options.checkpoint_every = 6;
+    ckpt_cfg.options.checkpoint_path = file.path;
+    DistributedResult result =
+        train_fekf_distributed(*a.model, a.train_envs, {}, ckpt_cfg);
+    EXPECT_EQ(result.surviving_ranks, 2);
+    EXPECT_GT(result.train.checkpoint_seconds, 0.0);
+    reference = gather_weights(*a.model);
+  }
+
+  // The checkpoint carries the membership table: 3 ranks, one dead.
+  {
+    train::LoadedCheckpoint loaded = train::load_checkpoint(file.path);
+    ASSERT_TRUE(loaded.state.membership.present);
+    EXPECT_EQ(loaded.state.membership.ranks.size(), 3u);
+    EXPECT_EQ(loaded.state.membership.next_id, 3);
+    i64 dead = 0;
+    for (const auto& rank : loaded.state.membership.ranks) {
+      if (!rank.alive) ++dead;
+    }
+    EXPECT_EQ(dead, 1);
+    EXPECT_EQ(loaded.state.steps, 6);
+  }
+
+  // Resume on a fresh model: the injected fault already happened before
+  // the cut, so the resumed segment runs fault-free and must land on the
+  // reference weights bit-for-bit (same 2-rank shard split restored).
+  Fixture b = make_fixture(2);
+  {
+    InjectorGuard guard;
+    DistributedConfig resume_cfg = cfg;
+    resume_cfg.options.resume_from = file.path;
+    DistributedResult result =
+        train_fekf_distributed(*b.model, b.train_envs, {}, resume_cfg);
+    EXPECT_EQ(result.surviving_ranks, 2);
+    EXPECT_EQ(result.train.steps, 8);
+  }
+  EXPECT_EQ(gather_weights(*b.model), reference);  // bit-exact
+}
+
+// ---------------------------------------------------------------------------
+// Construction-time validation of the new knobs
+// ---------------------------------------------------------------------------
+
+TEST(Elastic, ClusterConstructionValidatesAllKnobs) {
+  DistributedConfig good = base_config(2, 2);
+  EXPECT_NO_THROW(VirtualCluster(good, 100, 100));
+
+  DistributedConfig bad = good;
+  bad.interconnect.loss_prob = 1.0;  // must be < 1
+  EXPECT_THROW(VirtualCluster(bad, 100, 100), Error);
+
+  bad = good;
+  bad.interconnect.corrupt_prob = -0.1;
+  EXPECT_THROW(VirtualCluster(bad, 100, 100), Error);
+
+  bad = good;
+  bad.interconnect.max_retries = 0;
+  EXPECT_THROW(VirtualCluster(bad, 100, 100), Error);
+
+  bad = good;
+  bad.interconnect.retry_backoff_s = -1e-6;
+  EXPECT_THROW(VirtualCluster(bad, 100, 100), Error);
+
+  bad = good;
+  bad.detector.miss_limit = 0;
+  EXPECT_THROW(VirtualCluster(bad, 100, 100), Error);
+
+  bad = good;
+  bad.detector.heartbeat_bytes = -1;
+  EXPECT_THROW(VirtualCluster(bad, 100, 100), Error);
+
+  bad = good;
+  bad.straggler_wait_factor = 0.5;  // must be >= 1
+  EXPECT_THROW(VirtualCluster(bad, 100, 100), Error);
+
+  bad = good;
+  bad.interconnect.bandwidth_gbps = 0.0;  // the pre-existing knob, too
+  EXPECT_THROW(VirtualCluster(bad, 100, 100), Error);
+}
+
+}  // namespace
+}  // namespace fekf::dist

@@ -1,0 +1,255 @@
+// Fault-DSL tests (DESIGN.md §10): spec grammar (repeat counts, seeded
+// probabilistic arms, payload qualifiers), single-line diagnostics naming
+// the offending token for every malformed-spec edge case, and the
+// corrupt_file hardening (missing/empty/one-byte files).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/fault.hpp"
+
+namespace fekf {
+namespace {
+
+/// Restores the ambient FEKF_FAULT_SPEC arms on scope exit so these tests
+/// never leak explicit arms into later suites.
+struct Guard {
+  ~Guard() { FaultInjector::instance().configure_from_env(); }
+};
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string(::testing::TempDir()) + name + "." +
+             std::to_string(static_cast<long long>(::getpid()))) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+void spit(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// ---------------------------------------------------------------------------
+// Grammar
+// ---------------------------------------------------------------------------
+
+TEST(FaultSpec, ParsesArmsAndQualifiers) {
+  Guard g;
+  auto& inj = FaultInjector::instance();
+  inj.configure(
+      "rank_fail@step=30x3,msg_drop@p=0.01,seed=7,"
+      "straggler@step=9,factor=2.5,rank=1");
+  const std::vector<FaultArm> arms = inj.arms();
+  ASSERT_EQ(arms.size(), 3u);
+  EXPECT_EQ(arms[0].kind, "rank_fail");
+  EXPECT_EQ(arms[0].at_step, 30);
+  EXPECT_EQ(arms[0].repeat, 3);
+  EXPECT_EQ(arms[1].kind, "msg_drop");
+  EXPECT_DOUBLE_EQ(arms[1].prob, 0.01);
+  EXPECT_EQ(arms[1].seed, 7u);
+  EXPECT_EQ(arms[2].kind, "straggler");
+  EXPECT_EQ(arms[2].at_step, 9);
+  EXPECT_DOUBLE_EQ(arms[2].factor, 2.5);
+  EXPECT_EQ(arms[2].rank, 1);
+}
+
+TEST(FaultSpec, KnownKindListCoversAllSeven) {
+  const auto kinds = fault_kind_names();
+  ASSERT_EQ(kinds.size(), 7u);
+  for (const char* k : {faults::kNanGrad, faults::kCorruptCkpt,
+                        faults::kRankFail, faults::kRankJoin,
+                        faults::kStraggler, faults::kMsgDrop,
+                        faults::kMsgCorrupt}) {
+    EXPECT_NE(std::find(kinds.begin(), kinds.end(), std::string_view(k)),
+              kinds.end())
+        << k;
+  }
+}
+
+TEST(FaultSpec, RepeatCountFiresExactlyNTimes) {
+  Guard g;
+  auto& inj = FaultInjector::instance();
+  inj.configure("rank_fail@step=5x3");
+  EXPECT_FALSE(inj.fire(faults::kRankFail, 4));  // not yet eligible
+  EXPECT_TRUE(inj.fire(faults::kRankFail, 5));
+  EXPECT_TRUE(inj.fire(faults::kRankFail, 5));
+  EXPECT_TRUE(inj.fire(faults::kRankFail, 6));
+  EXPECT_FALSE(inj.fire(faults::kRankFail, 7));  // budget spent
+  EXPECT_FALSE(inj.armed(faults::kRankFail));
+}
+
+TEST(FaultSpec, StepLessArmFiresOnFirstPoll) {
+  Guard g;
+  auto& inj = FaultInjector::instance();
+  inj.configure("corrupt_ckpt");
+  EXPECT_TRUE(inj.armed(faults::kCorruptCkpt));
+  EXPECT_TRUE(inj.fire(faults::kCorruptCkpt, 1));
+  EXPECT_FALSE(inj.fire(faults::kCorruptCkpt, 2));
+}
+
+TEST(FaultSpec, ProbabilisticDrawsAreSeededAndReproducible) {
+  Guard g;
+  auto& inj = FaultInjector::instance();
+  auto draw = [&]() {
+    inj.configure("msg_drop@p=0.5,seed=42");
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(inj.fire(faults::kMsgDrop, 1));
+    }
+    return fired;
+  };
+  const std::vector<bool> a = draw();
+  const std::vector<bool> b = draw();
+  EXPECT_EQ(a, b);  // configure() resets the stream: exact replay
+  const auto hits = std::count(a.begin(), a.end(), true);
+  EXPECT_GT(hits, 0);
+  EXPECT_LT(hits, 64);
+  // A different seed gives a different (still reproducible) trajectory.
+  inj.configure("msg_drop@p=0.5,seed=43");
+  std::vector<bool> c;
+  for (int i = 0; i < 64; ++i) c.push_back(inj.fire(faults::kMsgDrop, 1));
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultSpec, ProbabilisticArmRespectsStepGate) {
+  Guard g;
+  auto& inj = FaultInjector::instance();
+  inj.configure("msg_drop@p=1,step=4");
+  EXPECT_FALSE(inj.fire(faults::kMsgDrop, 3));
+  EXPECT_TRUE(inj.fire(faults::kMsgDrop, 4));
+  EXPECT_TRUE(inj.fire(faults::kMsgDrop, 5));  // p=1 fires on every poll
+}
+
+TEST(FaultSpec, FireDetailCarriesPayloadQualifiers) {
+  Guard g;
+  auto& inj = FaultInjector::instance();
+  inj.configure("straggler@factor=6,rank=2");
+  const auto fired = inj.fire_detail(faults::kStraggler, 1);
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_DOUBLE_EQ(fired->factor, 6.0);
+  EXPECT_EQ(fired->rank, 2);
+  // Unset qualifiers come back as sentinel -1 for the site default.
+  inj.configure("rank_fail");
+  const auto bare = inj.fire_detail(faults::kRankFail, 1);
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_LT(bare->factor, 0.0);
+  EXPECT_EQ(bare->rank, -1);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed specs: single-line Error naming the offending token
+// ---------------------------------------------------------------------------
+
+void expect_bad(const std::string& spec, const std::string& needle) {
+  try {
+    FaultInjector::instance().configure(spec);
+    FAIL() << "spec '" << spec << "' was accepted";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find('\n'), std::string::npos) << what;
+    EXPECT_NE(what.find(needle), std::string::npos)
+        << "'" << what << "' does not mention '" << needle << "'";
+  }
+}
+
+TEST(FaultSpecErrors, EachMalformedSpecNamesTheOffendingToken) {
+  Guard g;
+  expect_bad("nan_grad,nan_grad", "duplicate arm");
+  expect_bad("nan_grad,", "empty token");
+  expect_bad(",nan_grad", "empty token");
+  expect_bad("nan_grad,,corrupt_ckpt", "empty token");
+  expect_bad("typo_kind", "unknown fault kind 'typo_kind'");
+  expect_bad("nan_grad@bogus=3", "unknown qualifier 'bogus='");
+  expect_bad("seed=7", "qualifier with no fault kind");
+  expect_bad("nan_grad@step=3x0", "repeat count must be >= 1");
+  expect_bad("nan_grad@step=-1", "step must be >= 0");
+  expect_bad("nan_grad@step=", "expected a number");
+  expect_bad("nan_grad@step=3q", "trailing characters after step");
+  expect_bad("msg_drop@p=1.5", "p must be in [0, 1]");
+  expect_bad("msg_drop@p=0.5,step=1x2",
+             "probabilistic arms cannot carry a repeat count");
+  expect_bad("straggler@factor=0", "factor must be finite and > 0");
+  expect_bad("straggler@rank=-2", "rank must be >= 0");
+}
+
+TEST(FaultSpecErrors, MalformedSpecLeavesArmsUnchanged) {
+  Guard g;
+  auto& inj = FaultInjector::instance();
+  inj.configure("nan_grad@step=3");
+  EXPECT_THROW(inj.configure("nan_grad,bogus_kind"), Error);
+  ASSERT_EQ(inj.arms().size(), 1u);  // previous arms survive the throw
+  EXPECT_TRUE(inj.armed(faults::kNanGrad));
+}
+
+TEST(FaultSpecErrors, EmptySpecDisarmsEverything) {
+  Guard g;
+  auto& inj = FaultInjector::instance();
+  inj.configure("nan_grad@step=3");
+  inj.configure("");
+  EXPECT_TRUE(inj.arms().empty());
+  EXPECT_FALSE(inj.fire(faults::kNanGrad, 3));
+}
+
+// ---------------------------------------------------------------------------
+// corrupt_file hardening (missing / empty / one-byte files)
+// ---------------------------------------------------------------------------
+
+TEST(CorruptFile, MissingFileThrowsInsteadOfUB) {
+  try {
+    FaultInjector::corrupt_file("/nonexistent/fekf_no_such_file");
+    FAIL() << "missing file was corrupted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("missing file"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CorruptFile, EmptyFileThrowsInsteadOfUB) {
+  TempFile file("fekf_corrupt_empty");
+  spit(file.path, "");
+  try {
+    FaultInjector::corrupt_file(file.path);
+    FAIL() << "empty file was corrupted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("empty file"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CorruptFile, OneByteFileIsFlippedInPlace) {
+  TempFile file("fekf_corrupt_onebyte");
+  spit(file.path, "A");
+  FaultInjector::corrupt_file(file.path);
+  EXPECT_EQ(slurp(file.path), "a");  // 'A' ^ 0x20, size unchanged
+}
+
+TEST(CorruptFile, FlipsExactlyTheMiddleByte) {
+  TempFile file("fekf_corrupt_middle");
+  const std::string original = "0123456789";
+  spit(file.path, original);
+  FaultInjector::corrupt_file(file.path);
+  const std::string corrupted = slurp(file.path);
+  ASSERT_EQ(corrupted.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (i == original.size() / 2) {
+      EXPECT_EQ(corrupted[i], static_cast<char>(original[i] ^ 0x20));
+    } else {
+      EXPECT_EQ(corrupted[i], original[i]) << "byte " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fekf

@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "core/fault.hpp"
@@ -31,13 +32,17 @@ struct TempFile {
   ~TempFile() { std::remove(path.c_str()); }
 };
 
-/// Disarms the process-wide injector on scope exit so injection tests
-/// cannot leak arms into later tests.
+/// Pins the process-wide injector to `spec` for the test's duration, then
+/// restores the ambient FEKF_FAULT_SPEC arms on scope exit. In a normal
+/// run the variable is unset, so this disarms exactly like the old
+/// clear(); under the CI chaos leg it keeps the environment spec live for
+/// the tests that deliberately run unguarded (Chaos.*) without explicit
+/// arms leaking across tests.
 struct InjectorGuard {
   explicit InjectorGuard(const std::string& spec = {}) {
     FaultInjector::instance().configure(spec);
   }
-  ~InjectorGuard() { FaultInjector::instance().clear(); }
+  ~InjectorGuard() { FaultInjector::instance().configure_from_env(); }
 };
 
 deepmd::ModelConfig tiny_model() {
@@ -379,7 +384,12 @@ TEST(Sentinel, RankFailureReshardsAndCompletes) {
   EXPECT_EQ(result.comm.reshard_events, 1);
   EXPECT_GT(result.comm.reshard_bytes, 0);
   EXPECT_GT(result.comm.reshard_seconds, 0.0);
+  // The injection silences the rank; the heartbeat detector (default
+  // miss_limit = 1) evicts it at the same step boundary.
   EXPECT_EQ(result.train.faults.count("rank_fail"), 1);
+  EXPECT_EQ(result.train.faults.count("rank_evict"), 1);
+  EXPECT_EQ(result.comm.evictions, 1);
+  EXPECT_GT(result.comm.detection_seconds, 0.0);
   EXPECT_TRUE(std::isfinite(result.train.final_train.energy_rmse));
 }
 
@@ -469,6 +479,40 @@ TEST(Validation, InterconnectRejectsBadBandwidth) {
   EXPECT_THROW(net.validate(), Error);
   net = {};
   EXPECT_NO_THROW(net.validate());
+}
+
+// ---------------------------------------------------------------------------
+// Ambient chaos (the CI *_chaos leg re-runs this binary under a canned
+// FEKF_FAULT_SPEC; in a normal run the variable is unset and this trains
+// fault-free)
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, AmbientSpecTrainsToFiniteMetrics) {
+  // Deliberately unguarded: arm whatever the environment provides, fresh,
+  // so the run is deterministic regardless of which tests ran before.
+  FaultInjector::instance().configure_from_env();
+  Fixture f = make_fixture();
+  TempFile file("fekf_chaos_ambient.ckpt");
+  TrainOptions opts = base_options(2, 2);
+  opts.checkpoint_every = 2;
+  opts.checkpoint_path = file.path;
+  KalmanTrainer trainer(*f.model, base_kalman(), opts);
+  TrainResult result = trainer.train(f.train_envs, {});
+  EXPECT_TRUE(std::isfinite(result.final_train.energy_rmse));
+  for (const f64 w : gather_weights(*f.model)) {
+    ASSERT_TRUE(std::isfinite(w));
+  }
+  // When the chaos spec arms these kinds, their recovery paths must have
+  // actually run — the leg is not allowed to be a silent no-op.
+  const char* spec = std::getenv("FEKF_FAULT_SPEC");
+  const std::string armed = spec != nullptr ? spec : "";
+  if (armed.find("nan_grad") != std::string::npos) {
+    EXPECT_GE(result.faults.count("nonfinite_signal"), 1);
+  }
+  if (armed.find("corrupt_ckpt") != std::string::npos) {
+    EXPECT_GE(result.faults.count("corrupt_ckpt"), 1);
+  }
+  FaultInjector::instance().configure("");
 }
 
 }  // namespace
