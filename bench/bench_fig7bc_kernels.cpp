@@ -169,6 +169,7 @@ std::vector<DispatchSection> run_dispatch_micro(u64 seed) {
   dp::register_gemm_variants();
   dp::register_tanh_variants();
   dp::register_ekf_variants();
+  dp::register_matnt_variants();
   dp::register_desc_variants();
   Rng rng(seed);
   std::vector<DispatchSection> sections;
@@ -231,6 +232,18 @@ std::vector<DispatchSection> run_dispatch_micro(u64 seed) {
         reinterpret_cast<dp::Rank1PanelFn>(v.fn)(p.data(), g.data(), 0.37,
                                                  1.0 / 0.9987, 0, n, n);
       }));
+  {  // NT contraction: the linear-backward gx shape (d = 50 layers).
+    const i64 rows = 256, nt_n = 50, nt_q = 50;
+    const Tensor a = Tensor::randn(rows, nt_q, rng);
+    const Tensor b = Tensor::randn(nt_n, nt_q, rng);
+    Tensor out(rows, nt_n);
+    sections.push_back(time_family(
+        "matnt_f32", "rows=256 n=50 q=50", [&](const dp::Variant& v) {
+          reinterpret_cast<dp::MatNtPanelFn>(v.fn)(a.data(), b.data(),
+                                                   out.data(), 0, rows, nt_n,
+                                                   nt_q);
+        }));
+  }
   {  // descriptor tail: paper M=25, M^<=16 block.
     const i64 m = 25, m_axis = 16, q = 256;
     const Tensor a = Tensor::randn(m, q, rng);

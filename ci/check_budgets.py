@@ -28,6 +28,15 @@ when any metric regresses beyond the thresholds in ci/budgets.json:
     seconds). These are SIMULATED seconds derived from byte counts and
     seeded RNG draws — deterministic for a fixed bench scale — so their
     budgets are tight, unlike the wall-clock gates
+  * serving budgets over the bench_serving artifact (`--serving`, the
+    "serving" section, DESIGN.md §14): the launch-amortization ratio of
+    the batched pass (kernel launches per request, serial over batched —
+    deterministic for fixed bench flags, so its floor is tight), the
+    wall-clock batched speedup / p99 latency / batch occupancy (loose,
+    host-dependent), and the structural zeros: publish_stalls and
+    pinned-version violations must stay exactly 0, and publish latency
+    under reader load stays within max_loaded_over_idle of idle (the
+    "publishing is independent of readers" claim as a number)
 
 --kernels-doc FILE cross-checks docs/KERNELS.md against the artifact's
 dispatch section: every registered variant must appear in the doc's
@@ -213,6 +222,39 @@ def check_chaos(doc, budgets, failures):
                  churn["join_events"], limits.get("min_join_events"))
 
 
+def check_serving(doc, budgets, failures):
+    if not budgets:
+        return
+    if doc is None:
+        failures.append("serving: budgets define serving limits but no "
+                        "--serving artifact was provided")
+        return
+    # Deterministic amortization floor (the ISSUE's ">= 2x batched over
+    # the unbatched single-walker path" in its host-independent form).
+    gate_min(failures, "serving.launch_amortization",
+             doc["launch_amortization"],
+             budgets.get("min_launch_amortization"))
+    # Wall-clock quantities: loose floors/ceilings, CI hosts vary.
+    gate_min(failures, "serving.batched_speedup",
+             doc["batched_speedup"], budgets.get("min_batched_speedup"))
+    gate_min(failures, "serving.occupancy_mean",
+             doc["batched"]["occupancy_mean"],
+             budgets.get("min_occupancy_mean"))
+    gate(failures, "serving.p99_latency_s",
+         doc["batched"]["p99_latency_s"], budgets.get("max_p99_latency_s"))
+    gate(failures, "serving.loaded_over_idle",
+         doc["publish"]["loaded_over_idle"],
+         budgets.get("max_loaded_over_idle"))
+    # Structural exact gates: a reader can never stall a publish, and a
+    # pinned request can never be served the wrong snapshot.
+    gate(failures, "serving.publish_stalls",
+         doc["publish"]["publish_stalls"],
+         budgets.get("max_publish_stalls"))
+    gate(failures, "serving.pinned_wrong_version",
+         doc["mixed"]["pinned_wrong_version"],
+         budgets.get("max_pinned_wrong_version"))
+
+
 def gate(failures, what, actual, limit):
     if limit is None:
         return
@@ -294,7 +336,7 @@ def check_kernels_doc(doc, doc_path, failures):
           f"documented in {doc_path}")
 
 
-def run_checks(fig7bc, fusion, budgets, chaos=None):
+def run_checks(fig7bc, fusion, budgets, chaos=None, serving=None):
     failures = []
     print("fig7bc_kernels budgets:")
     check_fig7bc(fig7bc, budgets.get("fig7bc_kernels", {}), failures)
@@ -305,10 +347,13 @@ def run_checks(fig7bc, fusion, budgets, chaos=None):
     if chaos is not None or budgets.get("chaos"):
         print("chaos budgets:")
         check_chaos(chaos, budgets.get("chaos", {}), failures)
+    if serving is not None or budgets.get("serving"):
+        print("serving budgets:")
+        check_serving(serving, budgets.get("serving", {}), failures)
     return failures
 
 
-def rebaseline(fig7bc, fusion, path, chaos=None):
+def rebaseline(fig7bc, fusion, path, chaos=None, serving=None):
     budgets = {
         "_comment": [
             "Perf/launch/allocation budgets for ci/check_budgets.py.",
@@ -382,14 +427,32 @@ def rebaseline(fig7bc, fusion, path, chaos=None):
                 "min_join_events": churn["join_events"],
             },
         }
+    if serving is not None:
+        # Launch amortization is a deterministic launch count ratio, so it
+        # gets a modest floor below the measurement; the wall-clock ratios
+        # (speedup, occupancy, p99, publish load factor) are host noise and
+        # get TIME_SLACK-style headroom. The structural zeros are exact.
+        p99 = serving["batched"]["p99_latency_s"] * TIME_SLACK
+        loaded = serving["publish"]["loaded_over_idle"] * TIME_SLACK
+        budgets["serving"] = {
+            "min_launch_amortization":
+                float(f"{serving['launch_amortization'] / 1.4:.3g}"),
+            "min_batched_speedup": 1.05,
+            "min_occupancy_mean":
+                float(f"{serving['batched']['occupancy_mean'] / 4.0:.3g}"),
+            "max_p99_latency_s": float(f"{p99:.3g}"),
+            "max_publish_stalls": 0,
+            "max_loaded_over_idle": max(15.0, float(f"{loaded:.3g}")),
+            "max_pinned_wrong_version": 0,
+        }
     with open(path, "w") as f:
         json.dump(budgets, f, indent=2)
         f.write("\n")
     print(f"budgets re-baselined into {path}")
 
 
-def self_test(fig7bc, fusion, budgets, chaos=None):
-    clean = run_checks(fig7bc, fusion, budgets, chaos)
+def self_test(fig7bc, fusion, budgets, chaos=None, serving=None):
+    clean = run_checks(fig7bc, fusion, budgets, chaos, serving)
     if clean:
         print("self-test: artifacts do not pass the current budgets, cannot "
               "run the injection test:", file=sys.stderr)
@@ -405,7 +468,7 @@ def self_test(fig7bc, fusion, budgets, chaos=None):
             c["step_kernels"] *= 3
     print("\nself-test: injected 3x fused launch-count regression, "
           "re-checking (failures below are EXPECTED):")
-    caught = run_checks(broken, fusion, budgets, chaos)
+    caught = run_checks(broken, fusion, budgets, chaos, serving)
     if not caught:
         print("self-test: FAILED — the injected regression was not caught",
               file=sys.stderr)
@@ -422,7 +485,7 @@ def self_test(fig7bc, fusion, budgets, chaos=None):
         broken_chaos["churn"]["recovery_seconds"] *= 10
         print("\nself-test: injected 10x churn recovery-overhead "
               "regression, re-checking (failures below are EXPECTED):")
-        caught = run_checks(fig7bc, fusion, budgets, broken_chaos)
+        caught = run_checks(fig7bc, fusion, budgets, broken_chaos, serving)
         recovery = [f for f in caught if "recovery_seconds" in f]
         if not recovery:
             print("self-test: FAILED — the injected recovery-overhead "
@@ -430,6 +493,25 @@ def self_test(fig7bc, fusion, budgets, chaos=None):
             return 1
         print(f"\nself-test: ok — recovery-overhead regression caught "
               f"('{recovery[0]}')")
+    # Inject a publish-stall regression: a reader suddenly blocks the
+    # publisher (e.g. someone swapped the lock-free snapshot swap for a
+    # mutex held across reads, or made publish wait for in-flight
+    # evaluations). publish_stalls must be exactly 0, so even one stall
+    # MUST fail the serving gate.
+    if (serving is not None and budgets.get("serving", {})
+            .get("max_publish_stalls") is not None):
+        broken_serving = copy.deepcopy(serving)
+        broken_serving["publish"]["publish_stalls"] += 7
+        print("\nself-test: injected synthetic publish stalls under reader "
+              "load, re-checking (failures below are EXPECTED):")
+        caught = run_checks(fig7bc, fusion, budgets, chaos, broken_serving)
+        stalls = [f for f in caught if "publish_stalls" in f]
+        if not stalls:
+            print("self-test: FAILED — the injected publish-stall "
+                  "regression was not caught", file=sys.stderr)
+            return 1
+        print(f"\nself-test: ok — publish-stall regression caught "
+              f"('{stalls[0]}')")
     # Inject a missing-variant regression: a budgeted SIMD variant vanishes
     # from the artifact (someone deleted or renamed its registration). The
     # dispatch gate MUST treat that as a failure, not a skip.
@@ -453,7 +535,7 @@ def self_test(fig7bc, fusion, budgets, chaos=None):
                              if v["name"] != injected[1]]
     print(f"\nself-test: removed variant {injected[0]}.{injected[1]} from "
           f"the artifact, re-checking (failures below are EXPECTED):")
-    caught = run_checks(broken, fusion, budgets)
+    caught = run_checks(broken, fusion, budgets, chaos, serving)
     missing = [f for f in caught if "missing from artifact" in f
                and injected[1] in f]
     if not missing:
@@ -475,13 +557,16 @@ def main():
     parser.add_argument("--chaos", default=None,
                         help="chaos.json from bench_chaos (optional; "
                              "required when budgets have a chaos section)")
+    parser.add_argument("--serving", default=None,
+                        help="serving.json from bench_serving (optional; "
+                             "required when budgets have a serving section)")
     parser.add_argument("--budgets", default=str(DEFAULT_BUDGETS))
     parser.add_argument("--rebaseline", action="store_true",
                         help="rewrite --budgets from the current artifacts")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gate catches an injected "
-                             "launch-count regression and a removed "
-                             "dispatch variant")
+                             "launch-count regression, a removed dispatch "
+                             "variant, and synthetic publish stalls")
     parser.add_argument("--kernels-doc", default=None, metavar="FILE",
                         help="cross-check docs/KERNELS.md rows against the "
                              "artifact's dispatch section")
@@ -501,14 +586,15 @@ def main():
     fig7bc = load_json(fig7bc_path)
     fusion = load_json(fusion_path)
     chaos = load_json(args.chaos) if args.chaos else None
+    serving = load_json(args.serving) if args.serving else None
 
     if args.rebaseline:
-        rebaseline(fig7bc, fusion, args.budgets, chaos)
+        rebaseline(fig7bc, fusion, args.budgets, chaos, serving)
         return 0
     budgets = load_json(args.budgets)
     if args.self_test:
-        return self_test(fig7bc, fusion, budgets, chaos)
-    failures = run_checks(fig7bc, fusion, budgets, chaos)
+        return self_test(fig7bc, fusion, budgets, chaos, serving)
+    failures = run_checks(fig7bc, fusion, budgets, chaos, serving)
     if args.kernels_doc:
         check_kernels_doc(fig7bc, args.kernels_doc, failures)
     if failures:

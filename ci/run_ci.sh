@@ -14,26 +14,29 @@
 #                             (FEKF_KERNEL_BACKEND=scalar) so the dispatch
 #                             fallback path stays tested end to end
 #   4. perf/launch budgets    (release legs only) bench_fig7bc_kernels +
-#                             bench_fusion + bench_chaos emit JSON,
-#                             ci/check_budgets.py
+#                             bench_fusion + bench_chaos + bench_serving
+#                             emit JSON, ci/check_budgets.py
 #                             gates it against ci/budgets.json (incl. the
-#                             per-variant dispatch and chaos-recovery
-#                             budgets), diffs
+#                             per-variant dispatch, chaos-recovery and
+#                             serving budgets), diffs
 #                             docs/KERNELS.md against the registry via
 #                             --kernels-doc, and the gate's --self-test
 #                             proves it can fail
 #
 # Matrix knobs (the workflow sets these per job; locally the defaults run
 # the whole matrix serially):
-#   FEKF_CI_BUILD_TYPES  "release sanitize" — sanitize is Debug with
-#                        FEKF_SANITIZE=address,undefined
+#   FEKF_CI_BUILD_TYPES  "release sanitize tsan" — sanitize is Debug with
+#                        FEKF_SANITIZE=address,undefined; tsan is Debug
+#                        with FEKF_SANITIZE=thread, running only the
+#                        concurrency-heavy suites (serve/threading/
+#                        parallel) where a data race could actually hide
 #   FEKF_CI_WIDTHS       "1 4" — FEKF_NUM_THREADS values for ctest
 #   FEKF_CI_JOBS         build/ctest parallelism (default: nproc)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${FEKF_CI_JOBS:-$(nproc)}"
-BUILD_TYPES="${FEKF_CI_BUILD_TYPES:-release sanitize}"
+BUILD_TYPES="${FEKF_CI_BUILD_TYPES:-release sanitize tsan}"
 WIDTHS="${FEKF_CI_WIDTHS:-1 4}"
 ARTIFACTS="${FEKF_CI_ARTIFACTS:-ci_artifacts}"
 mkdir -p "$ARTIFACTS"
@@ -57,8 +60,12 @@ for ty in $BUILD_TYPES; do
       dir=build-ci-sanitize
       cfg="-DCMAKE_BUILD_TYPE=Debug -DFEKF_SANITIZE=address,undefined"
       ;;
+    tsan)
+      dir=build-ci-tsan
+      cfg="-DCMAKE_BUILD_TYPE=Debug -DFEKF_SANITIZE=thread"
+      ;;
     *)
-      echo "unknown build type '$ty' (expected release|sanitize)" >&2
+      echo "unknown build type '$ty' (expected release|sanitize|tsan)" >&2
       exit 2
       ;;
   esac
@@ -66,6 +73,22 @@ for ty in $BUILD_TYPES; do
   # shellcheck disable=SC2086  # cfg/LAUNCHER are intentional word lists
   cmake -S . -B "$dir" $cfg -DFEKF_WERROR=ON $LAUNCHER
   cmake --build "$dir" -j"$JOBS"
+
+  if [ "$ty" = tsan ]; then
+    # TSan leg: race-check the suites where threads actually contend —
+    # the serving registry/evaluator (publish vs lock-free readers, batch
+    # coalescing), the thread pool, and the parallel primitives. The full
+    # matrix and budgets stay on the other legs; TSan timing is not
+    # representative and its full run would dominate the pipeline.
+    for width in $WIDTHS; do
+      echo "==== [3/4] ctest ($ty, concurrency suites, FEKF_NUM_THREADS=$width)"
+      FEKF_NUM_THREADS="$width" \
+        ctest --test-dir "$dir" --output-on-failure -j"$JOBS" \
+          -R '^(test_serve|test_threading|test_parallel)'
+    done
+    echo "==== [4/4] budgets skipped for $ty (covered by the release leg)"
+    continue
+  fi
 
   for width in $WIDTHS; do
     echo "==== [3/4] ctest ($ty, FEKF_NUM_THREADS=$width)"
@@ -87,17 +110,21 @@ for ty in $BUILD_TYPES; do
       --json "$ARTIFACTS/fig7bc_kernels.json"
     "./$dir/bench/bench_fusion" --json "$ARTIFACTS/fusion.json"
     # Default flags on purpose: the chaos budgets gate simulated (hence
-    # deterministic) figures baselined at exactly this scale.
+    # deterministic) figures baselined at exactly this scale, and the
+    # serving launch-amortization floor assumes the default fixture.
     "./$dir/bench/bench_chaos" --json "$ARTIFACTS/chaos.json"
+    "./$dir/bench/bench_serving" --json "$ARTIFACTS/serving.json"
     python3 ci/check_budgets.py \
       --fig7bc "$ARTIFACTS/fig7bc_kernels.json" \
       --fusion "$ARTIFACTS/fusion.json" \
       --chaos "$ARTIFACTS/chaos.json" \
+      --serving "$ARTIFACTS/serving.json" \
       --kernels-doc docs/KERNELS.md
     python3 ci/check_budgets.py \
       --fig7bc "$ARTIFACTS/fig7bc_kernels.json" \
       --fusion "$ARTIFACTS/fusion.json" \
-      --chaos "$ARTIFACTS/chaos.json" --self-test
+      --chaos "$ARTIFACTS/chaos.json" \
+      --serving "$ARTIFACTS/serving.json" --self-test
   else
     echo "==== [4/4] budgets skipped for $ty (sanitizer timing is not "
     echo "     representative; launch budgets are covered by the release leg)"

@@ -7,8 +7,8 @@
 #include "core/cli.hpp"
 #include "core/table.hpp"
 #include "data/dataset.hpp"
-#include "deepmd/model_potential.hpp"
 #include "deepmd/serialize.hpp"
+#include "serve/potential.hpp"
 #include "md/langevin.hpp"
 #include "md/observables.hpp"
 #include "train/trainer.hpp"
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
   Rng rng(11);
   md::Structure st = spec.make_structure(rng);
   auto teacher = spec.make_potential(st);
-  deepmd::ModelPotential learned(loaded);
+  serve::ModelPotential learned(loaded);
 
   md::System sys;
   sys.cell = st.cell;

@@ -7,12 +7,25 @@
 // round by round and the model is RETRAINED WARM with FEKF — each
 // retraining takes seconds, which is exactly the "training in minutes, a
 // step towards online learning" workflow the paper targets.
+//
+// The serving half of that loop rides along: a RegistryPublisher observer
+// publishes immutable weight snapshots into a ModelRegistry as training
+// progresses, and after each round the freshly arrived configurations are
+// re-evaluated through the BatchingEvaluator — the same versioned,
+// request-coalescing path concurrent MD walkers would use (DESIGN.md §14).
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <future>
 
 #include "core/cli.hpp"
 #include "core/table.hpp"
 #include "data/dataset.hpp"
 #include "md/sampler.hpp"
+#include "serve/batching.hpp"
+#include "serve/registry.hpp"
 #include "train/trainer.hpp"
 
 using namespace fekf;
@@ -42,9 +55,11 @@ int main(int argc, char** argv) {
       .flag("per-round", "24", "new snapshots per arriving round")
       .flag("epochs", "5", "FEKF epochs per retraining round")
       .flag("batch", "8", "FEKF batch size")
-      .flag("ckpt", "/tmp/fekf_online.ckpt",
+      .flag("ckpt",
+            "/tmp/fekf_online." + std::to_string(getpid()) + ".ckpt",
             "full-state training checkpoint written during each round "
-            "(empty disables)");
+            "(empty disables); pid-suffixed so concurrent runs never "
+            "clobber each other");
   if (!cli.parse(argc, argv)) return 0;
 
   const data::SystemSpec& spec = data::get_system(cli.get("system"));
@@ -66,6 +81,13 @@ int main(int argc, char** argv) {
   kcfg.blocksize = 2048;
   std::unique_ptr<train::KalmanTrainer> trainer;
 
+  // The serving side: the trainer publishes immutable snapshots into the
+  // registry (every checkpoint and every 16 optimizer steps), and clients
+  // consume them through the batching evaluator without ever blocking it.
+  serve::ModelRegistry registry;
+  std::unique_ptr<serve::RegistryPublisher> publisher;
+  std::unique_ptr<serve::BatchingEvaluator> evaluator;
+
   for (std::size_t round = 0; round < std::size(rounds_temps); ++round) {
     const f64 temperature = rounds_temps[round];
     std::printf("== round %zu: %d new snapshots arrive at %.0f K ==\n",
@@ -78,6 +100,8 @@ int main(int argc, char** argv) {
       // the first round and kept — the online setting cannot refit them
       // retroactively without invalidating the warm weights.
       model.fit_stats(fresh);
+      publisher = std::make_unique<serve::RegistryPublisher>(
+          registry, model, /*every_steps=*/16);
       trainer = std::make_unique<train::KalmanTrainer>(
           model, kcfg, [&] {
             train::TrainOptions opts;
@@ -92,6 +116,7 @@ int main(int argc, char** argv) {
               opts.checkpoint_every = 8;
               opts.checkpoint_path = cli.get("ckpt");
             }
+            opts.observers.push_back(publisher.get());
             return opts;
           }());
       first = false;
@@ -118,6 +143,36 @@ int main(int argc, char** argv) {
     }
 
     train::Metrics after = train::evaluate(model, fresh_envs, 12, true);
+
+    // Serve the round's new configurations through the batched, versioned
+    // path — what a fleet of MD walkers consuming this trainer would hit.
+    if (evaluator == nullptr) {
+      evaluator = std::make_unique<serve::BatchingEvaluator>(registry);
+    }
+    std::vector<std::future<serve::EvalResult>> futures;
+    for (const md::Snapshot& snap : fresh) {
+      serve::EvalRequest request;
+      request.snapshot = snap;
+      request.with_forces = false;
+      futures.push_back(evaluator->submit(request));
+    }
+    f64 serve_mae = 0.0;
+    u64 served_version = 0;
+    i64 max_batch = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const serve::EvalResult res = futures[i].get();
+      serve_mae += std::abs(res.energy - fresh[i].energy) /
+                   static_cast<f64>(fresh[i].natoms());
+      served_version = res.model_version;
+      max_batch = std::max(max_batch, res.batch_size);
+    }
+    serve_mae /= static_cast<f64>(futures.size());
+    std::printf("   served %zu requests from model v%llu (largest batch "
+                "%lld): |dE|/atom %.1f meV\n",
+                futures.size(),
+                static_cast<unsigned long long>(served_version),
+                static_cast<long long>(max_batch), 1000.0 * serve_mae);
+
     table.add_row({std::to_string(round + 1),
                    Table::num(temperature, 0),
                    std::to_string(corpus.size()), Table::num(seconds, 1),

@@ -67,6 +67,13 @@ FEKF_TRACE="$ARTIFACTS/resilience_trace.json" \
 # baselined against these exact flags (the gated figures are simulated and
 # deterministic, so the scale must match).
 run ./build/bench/bench_chaos --json "$ARTIFACTS/chaos.json"
+# Serving bench at the default scale: the ci/budgets.json serving section
+# gates its launch-amortization ratio (deterministic at this scale), the
+# loose wall-clock figures, and the structural zeros (publish stalls,
+# pinned-version violations). Spans/metrics land next to the other traces.
+FEKF_TRACE="$ARTIFACTS/serving_trace.json" \
+  FEKF_METRICS="$ARTIFACTS/serving_metrics.json" \
+  run ./build/bench/bench_serving --json "$ARTIFACTS/serving.json"
 echo "  ]" >> "$INDEX"
 echo "}" >> "$INDEX"
 cat > "$SUMMARY" <<EOF
@@ -80,7 +87,8 @@ cat > "$SUMMARY" <<EOF
     "fusion": "$ARTIFACTS/fusion.json",
     "scaling": "$ARTIFACTS/scaling.json",
     "resilience": "$ARTIFACTS/resilience.json",
-    "chaos": "$ARTIFACTS/chaos.json"
+    "chaos": "$ARTIFACTS/chaos.json",
+    "serving": "$ARTIFACTS/serving.json"
   }
 }
 EOF

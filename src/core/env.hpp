@@ -1,0 +1,69 @@
+// Centralized runtime environment knobs (DESIGN.md §14 "Serving
+// architecture", README "Runtime configuration").
+//
+// Every FEKF_* environment variable the process reads goes through this
+// accessor instead of a scattered std::getenv: the knob registry below is
+// the single source of truth for what exists (the README env table is
+// generated from it by knob_table()), and the first lookup scans the
+// process environment for FEKF_*-prefixed variables that are NOT
+// registered, warning once per process with the nearest registered name —
+// so `FEKF_NUM_THREDS=4` fails loudly instead of silently running at the
+// default width.
+//
+// Typed getters never abort on a malformed value: they warn and return the
+// caller's fallback, matching the long-standing contract that an env typo
+// must not kill a training run. Looking up a name that is not in the
+// registry is a programming error and does abort (FEKF_CHECK) — it means a
+// call site forgot to register its knob.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/common.hpp"
+
+namespace fekf::env {
+
+/// One registered knob (name + one-line summary for docs/tests).
+struct Knob {
+  const char* name;
+  const char* summary;
+};
+
+/// Every FEKF_* variable the process honors, in documentation order.
+std::span<const Knob> knobs();
+
+/// Raw lookup of a REGISTERED knob. Returns nullptr when unset. Aborts via
+/// FEKF_CHECK if `name` is not in knobs() — register new knobs in env.cpp.
+/// The first call (any getter) performs the unknown-variable scan.
+const char* get(const char* name);
+
+/// True when the variable is set to a non-empty value.
+bool is_set(const char* name);
+
+/// String value or `fallback` when unset/empty.
+std::string get_or(const char* name, const std::string& fallback);
+
+/// Integer knob: full-token strtoll parse; malformed or out-of-range
+/// values warn once per lookup and return `fallback`.
+i64 get_i64(const char* name, i64 fallback);
+
+/// Floating knob with the same warn-and-fall-back contract.
+f64 get_f64(const char* name, f64 fallback);
+
+/// Boolean knob: unset -> fallback; "0"/"off"/"false" (case-sensitive,
+/// matching the historical FEKF_ARENA parsing) -> false; anything else
+/// (including empty) -> true.
+bool get_flag(const char* name, bool fallback);
+
+/// Scan the environment for FEKF_*-prefixed variables that are not
+/// registered (and not FEKF_CI_*, the CI-harness namespace) and warn once
+/// per process, suggesting the nearest registered name. Called lazily by
+/// the getters; exposed for tests.
+void warn_unknown_once();
+
+/// Test hook: re-run the unknown scan regardless of the once-latch,
+/// returning the offending names instead of logging.
+std::span<const std::string> scan_unknown_for_test();
+
+}  // namespace fekf::env

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/env.hpp"
+
 namespace fekf {
 
 namespace {
@@ -114,7 +116,7 @@ FaultInjector& FaultInjector::instance() {
 FaultInjector::FaultInjector() { configure_from_env(); }
 
 void FaultInjector::configure_from_env() {
-  const char* env = std::getenv("FEKF_FAULT_SPEC");
+  const char* env = env::get("FEKF_FAULT_SPEC");
   configure(env != nullptr ? env : "");
 }
 

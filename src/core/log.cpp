@@ -4,8 +4,9 @@
 #include <cctype>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <mutex>
+
+#include "core/env.hpp"
 
 namespace fekf {
 
@@ -33,7 +34,7 @@ const char* level_name(LogLevel level) {
 /// warn, error, off) or its integer value 0-4. Malformed values fall back
 /// to the default — the logger must never abort a run over an env typo.
 int initial_level() {
-  const char* env = std::getenv("FEKF_LOG_LEVEL");
+  const char* env = env::get("FEKF_LOG_LEVEL");
   if (env == nullptr || env[0] == '\0') {
     return static_cast<int>(LogLevel::kInfo);
   }

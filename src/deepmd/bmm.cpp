@@ -3,7 +3,9 @@
 #include <cstring>
 
 #include "parallel/thread_pool.hpp"
+#include "tensor/dispatch.hpp"
 #include "tensor/kernel_counter.hpp"
+#include "tensor/variants/variants.hpp"
 
 namespace fekf::deepmd {
 
@@ -14,6 +16,12 @@ using ag::Variable;
 // bit-exact for any thread width (DESIGN.md "Threading & determinism").
 
 namespace {
+
+dispatch::Dispatched<dispatch::MatNtPanelFn>& matnt_dispatch() {
+  static dispatch::Dispatched<dispatch::MatNtPanelFn> d(
+      "matnt_f32", &dispatch::register_matnt_variants);
+  return d;
+}
 
 i64 block_count(const Tensor& t, i64 block, const char* who) {
   FEKF_CHECK(block > 0 && t.rows() % block == 0,
@@ -88,6 +96,10 @@ Tensor bmm_nt_kernel(const Tensor& x, const Tensor& y, i64 p, i64 s) {
   const i64 q = x.cols();
   FEKF_CHECK(y.cols() == q, "bmm_nt: inner dim mismatch");
   KernelLaunch launch("bmm_nt");
+  // Each block is one matnt_f32 panel (out_b = X_b · Y_bᵀ with a
+  // per-output f64 chain); the variant body is resolved on the calling
+  // thread before the parallel region, per the dispatch contract.
+  const dispatch::MatNtPanelFn fn = matnt_dispatch().get();
   Tensor out(nb * p, s);
   const f32* __restrict__ px = x.data();
   const f32* __restrict__ py = y.data();
@@ -96,18 +108,7 @@ Tensor bmm_nt_kernel(const Tensor& x, const Tensor& y, i64 p, i64 s) {
       0, nb,
       [&](i64 blo, i64 bhi) {
         for (i64 b = blo; b < bhi; ++b) {
-          const f32* xb = px + b * p * q;
-          const f32* yb = py + b * s * q;
-          f32* ob = po + b * p * s;
-          for (i64 i = 0; i < p; ++i) {
-            for (i64 j = 0; j < s; ++j) {
-              f64 acc = 0.0;
-              for (i64 l = 0; l < q; ++l) {
-                acc += static_cast<f64>(xb[i * q + l]) * yb[j * q + l];
-              }
-              ob[i * s + j] = static_cast<f32>(acc);
-            }
-          }
+          fn(px + b * p * q, py + b * s * q, po + b * p * s, 0, p, s, q);
         }
       },
       grain_items(p * q * s));

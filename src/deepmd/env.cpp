@@ -120,14 +120,18 @@ std::shared_ptr<const EnvData> build_env(const md::Snapshot& snapshot,
     }
   }
 
+  // Labels are optional: serving/inference snapshots (EvalRequest) carry
+  // geometry only, training snapshots carry teacher energy and forces.
   env->energy_label = snapshot.energy;
   env->force_label = Tensor::zeros(n, 3);
-  for (i64 srt = 0; srt < n; ++srt) {
-    const i64 orig = env->perm[static_cast<std::size_t>(srt)];
-    const md::Vec3& f = snapshot.forces[static_cast<std::size_t>(orig)];
-    env->force_label.at(srt, 0) = static_cast<f32>(f.x);
-    env->force_label.at(srt, 1) = static_cast<f32>(f.y);
-    env->force_label.at(srt, 2) = static_cast<f32>(f.z);
+  if (static_cast<i64>(snapshot.forces.size()) == n) {
+    for (i64 srt = 0; srt < n; ++srt) {
+      const i64 orig = env->perm[static_cast<std::size_t>(srt)];
+      const md::Vec3& f = snapshot.forces[static_cast<std::size_t>(orig)];
+      env->force_label.at(srt, 0) = static_cast<f32>(f.x);
+      env->force_label.at(srt, 1) = static_cast<f32>(f.y);
+      env->force_label.at(srt, 2) = static_cast<f32>(f.z);
+    }
   }
   return env;
 }

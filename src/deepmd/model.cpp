@@ -1,9 +1,12 @@
 #include "deepmd/model.hpp"
 
+#include <cstring>
+
 #include "deepmd/bmm.hpp"
 #include "deepmd/fused_descriptor.hpp"
 #include "deepmd/jacobian_ops.hpp"
 #include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace fekf::deepmd {
 
@@ -169,6 +172,187 @@ DeepmdModel::Prediction DeepmdModel::predict(
       f = f.defined() ? op::add(f, ft) : ft;
     }
     out.forces = f;
+  }
+  return out;
+}
+
+std::vector<DeepmdModel::Prediction> DeepmdModel::predict_batch(
+    std::span<const std::shared_ptr<const EnvData>> envs,
+    bool with_forces) const {
+  FEKF_CHECK(stats_ready_, "call fit_stats() before predict_batch()");
+  if (envs.empty()) return {};
+  if (envs.size() == 1) return {predict(envs[0], with_forces)};
+
+  const i64 n = static_cast<i64>(envs.size());
+  obs::ScopedSpan span("deepmd.predict_batch", "deepmd");
+  span.arg("requests", static_cast<f64>(n));
+
+  // Atom order for the whole batch: CENTER-TYPE-major, env-minor — all
+  // type-0 atoms (env 0's block, then env 1's, ...), then all type-1
+  // atoms, and so on. Each env's slice of a type block is its own
+  // type-sorted sub-block, so (a) the per-type fitting input is ONE
+  // contiguous row range of the descriptor instead of per-env slices, and
+  // (b) an env's rows, visited in ascending type order, reproduce its
+  // internal atom order exactly. Everything per-env below is plain
+  // memcpy / numeric reduction on values, never autograd ops: the batch
+  // graph carries the same node count as a single predict(), which is
+  // where the launch amortization comes from.
+  const std::size_t nt = static_cast<std::size_t>(num_types_);
+  std::vector<i64> ct_atom_base(nt + 1, 0);
+  std::vector<std::vector<i64>> env_atom0(
+      nt, std::vector<i64>(static_cast<std::size_t>(n), 0));
+  for (i32 ct = 0; ct < num_types_; ++ct) {
+    i64 acc = ct_atom_base[static_cast<std::size_t>(ct)];
+    for (i64 i = 0; i < n; ++i) {
+      const auto& env = envs[static_cast<std::size_t>(i)];
+      FEKF_CHECK(env != nullptr, "null env in predict_batch");
+      FEKF_CHECK(static_cast<i32>(env->r_mats.size()) == num_types_,
+                 "env/model num_types mismatch in predict_batch");
+      env_atom0[static_cast<std::size_t>(ct)][static_cast<std::size_t>(i)] =
+          acc;
+      acc += env->type_counts[static_cast<std::size_t>(ct)];
+    }
+    ct_atom_base[static_cast<std::size_t>(ct) + 1] = acc;
+  }
+  const i64 total_atoms = ct_atom_base[nt];
+  span.arg("natoms", static_cast<f64>(total_atoms));
+
+  // One environment-matrix leaf per neighbor type, sel_t rows per atom in
+  // the global atom order. Concatenation is a plain copy outside the
+  // graph: the leaves are roots, so no op sees the per-env tensors.
+  std::vector<Variable> r_leaves;
+  r_leaves.reserve(nt);
+  for (i32 t = 0; t < num_types_; ++t) {
+    const i64 sel_t = sel_[static_cast<std::size_t>(t)];
+    // Uninitialized: the per-(ct, env) copies below cover every atom's
+    // rows exactly once (the ct blocks partition the atom range).
+    Tensor cat(total_atoms * sel_t, 4);
+    for (i32 ct = 0; ct < num_types_; ++ct) {
+      for (i64 i = 0; i < n; ++i) {
+        const auto& env = envs[static_cast<std::size_t>(i)];
+        const i64 a0 = env->type_offsets[static_cast<std::size_t>(ct)];
+        const i64 a1 = env->type_offsets[static_cast<std::size_t>(ct) + 1];
+        if (a0 == a1) continue;
+        std::memcpy(
+            cat.data() +
+                env_atom0[static_cast<std::size_t>(ct)]
+                         [static_cast<std::size_t>(i)] * sel_t * 4,
+            env->r_mats[static_cast<std::size_t>(t)].data() + a0 * sel_t * 4,
+            static_cast<std::size_t>((a1 - a0) * sel_t * 4) * sizeof(f32));
+      }
+    }
+    r_leaves.emplace_back(std::move(cat), /*requires_grad=*/with_forces);
+  }
+
+  // Embeddings / descriptor: predict() verbatim, over the batch rows.
+  std::vector<Variable> g_mats;
+  g_mats.reserve(nt);
+  for (i32 t = 0; t < num_types_; ++t) {
+    Variable s = op::slice_cols(r_leaves[static_cast<std::size_t>(t)], 0, 1);
+    g_mats.push_back(embeddings_[static_cast<std::size_t>(t)].forward(
+        s, config_.fusion));
+  }
+
+  Variable d = descriptor(r_leaves, g_mats, total_atoms);
+
+  // Fitting per center type: one contiguous slice of the type-major
+  // descriptor — the same per-ct op sequence as predict(), regardless of
+  // batch width.
+  std::vector<Variable> e_ct_all(nt);
+  for (i32 ct = 0; ct < num_types_; ++ct) {
+    const i64 begin = ct_atom_base[static_cast<std::size_t>(ct)];
+    const i64 end = ct_atom_base[static_cast<std::size_t>(ct) + 1];
+    if (begin == end) continue;
+    Variable d_ct = (begin == 0 && end == total_atoms)
+                        ? d
+                        : op::slice_rows(d, begin, end);
+    e_ct_all[static_cast<std::size_t>(ct)] =
+        fittings_[static_cast<std::size_t>(ct)].forward(d_ct, config_.fusion);
+  }
+
+  // Per-env energies, computed numerically from the fitting values with
+  // the exact arithmetic predict() performs: sum_all on a cnt-row tensor
+  // is parallel_reduce_f64 over [0, cnt) with a fixed chunk length — the
+  // partition depends only on the element count, which is this env's own
+  // row count in both paths — followed by f32 adds in ascending
+  // center-type order and one f32 bias add.
+  std::vector<Prediction> out(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    const auto& env = envs[static_cast<std::size_t>(i)];
+    f32 e_norm = 0.0f;
+    bool have = false;
+    for (i32 ct = 0; ct < num_types_; ++ct) {
+      const i64 cnt = env->type_counts[static_cast<std::size_t>(ct)];
+      if (cnt == 0) continue;
+      const Tensor& e_ct = e_ct_all[static_cast<std::size_t>(ct)].value();
+      const f32* pe =
+          e_ct.data() +
+          (env_atom0[static_cast<std::size_t>(ct)]
+                    [static_cast<std::size_t>(i)] -
+           ct_atom_base[static_cast<std::size_t>(ct)]) * e_ct.cols();
+      const i64 elems = cnt * e_ct.cols();
+      const f64 acc = parallel_reduce_f64(
+          0, elems, kReduceChunk, [pe](i64 lo, i64 hi) {
+            f64 s = 0.0;
+            for (i64 j = lo; j < hi; ++j) s += pe[j];
+            return s;
+          });
+      const f32 e_sum = static_cast<f32>(acc);
+      e_norm = have ? e_norm + e_sum : e_sum;
+      have = true;
+    }
+    f64 bias_total = 0.0;
+    for (i32 t = 0; t < num_types_; ++t) {
+      bias_total +=
+          energy_stats_.bias_per_type[static_cast<std::size_t>(t)] *
+          static_cast<f64>(env->type_counts[static_cast<std::size_t>(t)]);
+    }
+    out[static_cast<std::size_t>(i)].energy = Variable(
+        Tensor::scalar(e_norm + static_cast<f32>(bias_total)),
+        /*requires_grad=*/false);
+  }
+
+  if (with_forces) {
+    // One backward pass for the whole batch. sum_all + add backward seed
+    // every fitting-output row's gradient with exactly 1.0 — the same
+    // seeds the per-env chains in predict() produce — and every backward
+    // kernel in the chain is row/block-independent, so each env's block
+    // of dE/dR~ is bit-identical to its single-env backward.
+    Variable e_total;
+    for (i32 ct = 0; ct < num_types_; ++ct) {
+      const Variable& e_ct = e_ct_all[static_cast<std::size_t>(ct)];
+      if (!e_ct.defined()) continue;
+      Variable s = op::sum_all(e_ct);
+      e_total = e_total.defined() ? op::add(e_total, s) : s;
+    }
+    auto grad_r = ag::grad(e_total, r_leaves, /*grad_root=*/{},
+                           /*create_graph=*/false);
+    for (i64 i = 0; i < n; ++i) {
+      const auto& env = envs[static_cast<std::size_t>(i)];
+      Variable f;
+      for (i32 t = 0; t < num_types_; ++t) {
+        const i64 sel_t = sel_[static_cast<std::size_t>(t)];
+        // Uninitialized: the ct blocks partition [0, natoms), so the
+        // copies below write every row.
+        Tensor g_env(env->natoms * sel_t, 4);
+        for (i32 ct = 0; ct < num_types_; ++ct) {
+          const i64 a0 = env->type_offsets[static_cast<std::size_t>(ct)];
+          const i64 a1 = env->type_offsets[static_cast<std::size_t>(ct) + 1];
+          if (a0 == a1) continue;
+          std::memcpy(
+              g_env.data() + a0 * sel_t * 4,
+              grad_r[static_cast<std::size_t>(t)].value().data() +
+                  env_atom0[static_cast<std::size_t>(ct)]
+                           [static_cast<std::size_t>(i)] * sel_t * 4,
+              static_cast<std::size_t>((a1 - a0) * sel_t * 4) * sizeof(f32));
+        }
+        Variable ft = jacobian_force(
+            Variable(std::move(g_env), /*requires_grad=*/false),
+            env, t);
+        f = f.defined() ? op::add(f, ft) : ft;
+      }
+      out[static_cast<std::size_t>(i)].forces = f;
+    }
   }
   return out;
 }

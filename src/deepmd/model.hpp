@@ -48,6 +48,28 @@ class DeepmdModel {
   Prediction predict(const std::shared_ptr<const EnvData>& env,
                      bool with_forces) const;
 
+  /// Batched forward pass over independent environments: one embedding /
+  /// descriptor / fitting / backward launch sequence for the whole batch
+  /// instead of one per snapshot, amortizing launch overhead exactly the
+  /// way the minibatch FEKF amortizes updates (DESIGN.md §14). Atoms are
+  /// laid out center-type-major so all per-env work is plain memcpy and
+  /// numeric reduction — the graph holds the same node count as a single
+  /// predict() regardless of batch width. Results are bit-identical to
+  /// predict() on each env under the `auto` kernel policy: every op in
+  /// the chain (row-wise gemm, elementwise tanh, per-atom-block
+  /// contraction) is row- or block-independent, per-env energies replay
+  /// sum_all's fixed-chunk f64 reduction over each env's own element
+  /// count, and sum_all/add backward seeds every row gradient with
+  /// exactly 1.0 either way. Force gradients may differ in the sign of
+  /// zero (disjoint scatter-add contributes -0.0 + 0.0 = +0.0); they
+  /// compare equal numerically. Unlike predict(), the returned
+  /// Predictions are detached values: energies and forces carry no
+  /// autograd graph, so they cannot seed a further backward pass. The
+  /// serving path is the intended consumer; training uses predict().
+  std::vector<Prediction> predict_batch(
+      std::span<const std::shared_ptr<const EnvData>> envs,
+      bool with_forces) const;
+
   /// All trainable leaves in the canonical flattening order (embedding
   /// nets by neighbor type, then fitting nets by center type; weight
   /// before bias within each layer).

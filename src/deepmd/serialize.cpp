@@ -159,4 +159,12 @@ DeepmdModel load_model(const std::string& path) {
   return read_model_text(r);
 }
 
+DeepmdModel clone_model(const DeepmdModel& model) {
+  TextWriter w;
+  w.reserve(static_cast<std::size_t>(model.num_parameters()) * 24 + 4096);
+  write_model_text(model, w);
+  TextReader r(w.str(), "<clone>");
+  return read_model_text(r);
+}
+
 }  // namespace fekf::deepmd

@@ -34,4 +34,9 @@ void write_model_text(const DeepmdModel& model, TextWriter& writer);
 /// loudly with the reader's file/line diagnostics.
 DeepmdModel read_model_text(TextReader& reader);
 
+/// Bit-exact deep copy via an in-memory serialize/deserialize round trip
+/// (the hex-float format loses nothing). This is how the serving registry
+/// decouples a published snapshot from the trainer's live weights.
+DeepmdModel clone_model(const DeepmdModel& model);
+
 }  // namespace fekf::deepmd

@@ -548,6 +548,14 @@ DistributedResult train_fekf_distributed(
             /*step_norm_cap=*/std::nullopt);
       }
       ++result.train.steps;
+      {
+        train::StepEvent step_event;
+        step_event.step = result.train.steps;
+        step_event.epoch = epoch;
+        for (train::TrainObserver* observer : config.options.observers) {
+          observer->on_step(step_event);
+        }
+      }
       if (config.options.checkpoint_every > 0 &&
           result.train.steps % config.options.checkpoint_every == 0) {
         Stopwatch ckpt_watch;
@@ -566,6 +574,15 @@ DistributedResult train_fekf_distributed(
         ckpt.membership = cluster.membership();
         train::save_checkpoint(ckpt, model, config.options.checkpoint_path);
         result.train.checkpoint_seconds += ckpt_watch.seconds();
+        {
+          train::CheckpointEvent ckpt_event;
+          ckpt_event.step = result.train.steps;
+          ckpt_event.path = config.options.checkpoint_path;
+          ckpt_event.seconds = ckpt_watch.seconds();
+          for (train::TrainObserver* observer : config.options.observers) {
+            observer->on_checkpoint(ckpt_event);
+          }
+        }
         if (obs::metrics_enabled()) {
           obs::MetricsRegistry::instance()
               .counter("dist.checkpoints")

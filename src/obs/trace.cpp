@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 
+#include "core/env.hpp"
 #include "core/log.hpp"
 #include "obs/metrics.hpp"
 
@@ -293,18 +294,18 @@ struct EnvActivation {
   std::string metrics_path;
 
   EnvActivation() {
-    if (const char* path = std::getenv("FEKF_TRACE")) {
+    if (const char* path = env::get("FEKF_TRACE")) {
       if (path[0] != '\0') {
         trace_path = path;
         TraceRecorder::instance().set_enabled(true);
       }
     }
-    if (const char* on = std::getenv("FEKF_TRACE_KERNELS")) {
+    if (const char* on = env::get("FEKF_TRACE_KERNELS")) {
       if (on[0] != '\0' && !(on[0] == '0' && on[1] == '\0')) {
         TraceRecorder::instance().set_kernel_spans(true);
       }
     }
-    if (const char* path = std::getenv("FEKF_METRICS")) {
+    if (const char* path = env::get("FEKF_METRICS")) {
       if (path[0] != '\0') {
         metrics_path = path;
         set_metrics_enabled(true);

@@ -1,7 +1,8 @@
 #include "parallel/thread_pool.hpp"
 
-#include <cstdlib>
 #include <memory>
+
+#include "core/env.hpp"
 
 namespace fekf {
 
@@ -11,10 +12,8 @@ thread_local bool t_in_parallel = false;
 
 i64 default_thread_count() {
   static const i64 cached = [] {
-    if (const char* env = std::getenv("FEKF_NUM_THREADS")) {
-      const long n = std::strtol(env, nullptr, 10);
-      if (n > 0) return static_cast<i64>(n);
-    }
+    const i64 n = env::get_i64("FEKF_NUM_THREADS", 0);
+    if (n > 0) return n;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<i64>(hw) : i64{1};
   }();

@@ -1,0 +1,99 @@
+#include "serve/registry.hpp"
+
+#include "deepmd/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace fekf::serve {
+
+ModelRegistry::~ModelRegistry() {
+  const u64 n = count_.load(std::memory_order_acquire);
+  const u64 used = (n + kChunk - 1) / kChunk;
+  for (u64 c = 0; c < used; ++c) {
+    delete chunks_[c].load(std::memory_order_relaxed);
+  }
+}
+
+f64 ModelRegistry::now_seconds() const {
+  return std::chrono::duration<f64>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+u64 ModelRegistry::publish(std::shared_ptr<const deepmd::DeepmdModel> model,
+                           i64 source_step) {
+  FEKF_CHECK(model != nullptr, "cannot publish a null model");
+  obs::ScopedSpan span("serve.publish", "serve");
+
+  // try_lock first so publisher-vs-publisher contention — the one way a
+  // publish can stall, since readers never lock — is observable. The
+  // serving CI budget pins this counter at zero for the single-trainer
+  // topology.
+  if (!publish_mutex_.try_lock()) {
+    if (obs::metrics_enabled()) {
+      obs::MetricsRegistry::instance().counter("serve.publish_stalls").inc();
+    }
+    publish_mutex_.lock();
+  }
+  std::lock_guard<std::mutex> lock(publish_mutex_, std::adopt_lock);
+
+  const u64 v = count_.load(std::memory_order_relaxed) + 1;
+  const u64 chunk_idx = (v - 1) / kChunk;
+  FEKF_CHECK(chunk_idx < kMaxChunks, "registry full (1M versions)");
+
+  if (const ModelSnapshot* first = version(1); first != nullptr) {
+    FEKF_CHECK(model->num_types() == first->model->num_types() &&
+                   model->sel() == first->model->sel() &&
+                   model->config().rcut == first->model->config().rcut,
+               "published model is prepare()-incompatible with version 1");
+  }
+
+  Chunk* chunk = chunks_[chunk_idx].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    chunks_[chunk_idx].store(chunk, std::memory_order_release);
+  }
+  ModelSnapshot& slot = chunk->slots[(v - 1) % kChunk];
+  slot.version = v;
+  slot.source_step = source_step;
+  slot.publish_seconds = now_seconds();
+  slot.model = std::move(model);
+
+  // The release store is the publication point: every slot write above
+  // happens-before any reader that acquires count_ >= v.
+  count_.store(v, std::memory_order_release);
+
+  span.arg("version", static_cast<f64>(v));
+  if (obs::metrics_enabled()) {
+    auto& metrics = obs::MetricsRegistry::instance();
+    metrics.counter("serve.publishes").inc();
+    metrics.gauge("serve.latest_version").set(static_cast<f64>(v));
+  }
+  return v;
+}
+
+u64 ModelRegistry::publish_copy(const deepmd::DeepmdModel& model,
+                                i64 source_step) {
+  const f64 t0 = now_seconds();
+  auto clone =
+      std::make_shared<const deepmd::DeepmdModel>(deepmd::clone_model(model));
+  const u64 v = publish(std::move(clone), source_step);
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry::instance()
+        .histogram("serve.publish_seconds")
+        .record(now_seconds() - t0);
+  }
+  return v;
+}
+
+const ModelSnapshot* ModelRegistry::latest() const {
+  const u64 n = count_.load(std::memory_order_acquire);
+  return n == 0 ? nullptr : version(n);
+}
+
+const ModelSnapshot* ModelRegistry::version(u64 v) const {
+  if (v == 0 || v > count_.load(std::memory_order_acquire)) return nullptr;
+  const Chunk* chunk = chunks_[(v - 1) / kChunk].load(std::memory_order_acquire);
+  return &chunk->slots[(v - 1) % kChunk];
+}
+
+}  // namespace fekf::serve

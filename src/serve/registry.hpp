@@ -1,0 +1,120 @@
+// Versioned immutable-snapshot model registry (DESIGN.md §14).
+//
+// The trainer publishes checkpointed weights; MD walkers read them. The
+// two sides meet at exactly one seam — a monotonically increasing publish
+// counter — designed so that readers are wait-free and publishing cost is
+// independent of reader count:
+//
+//   * Snapshots are immutable. publish_copy() deep-clones the trainer's
+//     live weights (on the trainer thread, via the bit-exact serialize
+//     round trip), so no published model ever aliases mutable state.
+//   * Storage is an append-only chunked array of snapshot slots behind
+//     std::atomic<Chunk*> pointers. A slot is fully written BEFORE the
+//     publish counter is advanced with release ordering; readers acquire
+//     the counter and index the array with plain loads. No reader ever
+//     takes a lock, so a flood of readers cannot stall the trainer (the
+//     `serving` CI budget holds publish latency flat under load).
+//   * Version ids are 1-based and dense: version v lives at slot v-1
+//     forever (snapshots are retained for the registry's lifetime, so a
+//     pinned reader can hold any historical version with no refcount
+//     traffic on the hot path).
+//
+// The only mutual exclusion is between concurrent publishers (one mutex;
+// the expected topology is a single trainer, making contention — counted
+// in serve.publish_stalls — structurally zero).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "deepmd/model.hpp"
+#include "train/observer.hpp"
+
+namespace fekf::serve {
+
+/// One published, immutable model version.
+struct ModelSnapshot {
+  u64 version = 0;       ///< 1-based, dense, monotonic
+  i64 source_step = -1;  ///< trainer step that produced it (-1: unknown)
+  f64 publish_seconds = 0.0;  ///< registry clock at publish time
+  std::shared_ptr<const deepmd::DeepmdModel> model;
+};
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ~ModelRegistry();
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Publish an immutable model the caller promises never to mutate.
+  /// Returns the assigned version. All versions must be prepared()-
+  /// compatible (same types/sel/cutoff as version 1) so an env built
+  /// against any version serves every version; violations throw.
+  u64 publish(std::shared_ptr<const deepmd::DeepmdModel> model,
+              i64 source_step = -1);
+
+  /// Deep-clone `model` (bit-exact) on the calling thread, then publish
+  /// the clone. This is the trainer-facing entrypoint: the trainer's live
+  /// weights stay private and mutable.
+  u64 publish_copy(const deepmd::DeepmdModel& model, i64 source_step = -1);
+
+  /// Latest snapshot, or nullptr before the first publish. Wait-free.
+  const ModelSnapshot* latest() const;
+
+  /// Snapshot for a specific version, or nullptr if never published.
+  /// Wait-free; valid for the registry's lifetime.
+  const ModelSnapshot* version(u64 v) const;
+
+  /// Latest version id (0 before the first publish). Wait-free.
+  u64 latest_version() const { return count_.load(std::memory_order_acquire); }
+
+  /// Seconds on the registry's steady clock (publish_seconds timebase).
+  f64 now_seconds() const;
+
+ private:
+  static constexpr u64 kChunk = 256;
+  static constexpr u64 kMaxChunks = 4096;  ///< 1M versions; publish throws past it
+  struct Chunk {
+    std::array<ModelSnapshot, kChunk> slots;
+  };
+
+  std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
+  std::atomic<u64> count_{0};
+  std::mutex publish_mutex_;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+/// TrainObserver that republishes the trainer's model into a registry:
+/// every checkpoint (the ISSUE's `on_checkpoint` → publish wiring), plus
+/// optionally every `every_steps` optimizer steps for checkpoint-free
+/// runs. Hooks run on the training thread, so the deep clone it takes is
+/// trivially consistent — the trainer is between steps.
+class RegistryPublisher final : public train::TrainObserver {
+ public:
+  RegistryPublisher(ModelRegistry& registry, const deepmd::DeepmdModel& model,
+                    i64 every_steps = 0)
+      : registry_(registry), model_(model), every_steps_(every_steps) {}
+
+  void on_step(const train::StepEvent& event) override {
+    if (every_steps_ > 0 && event.step % every_steps_ == 0 &&
+        !event.rolled_back) {
+      registry_.publish_copy(model_, event.step);
+    }
+  }
+
+  void on_checkpoint(const train::CheckpointEvent& event) override {
+    registry_.publish_copy(model_, event.step);
+  }
+
+ private:
+  ModelRegistry& registry_;
+  const deepmd::DeepmdModel& model_;
+  i64 every_steps_;
+};
+
+}  // namespace fekf::serve

@@ -1,8 +1,8 @@
 #include "tensor/dispatch.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "core/env.hpp"
 #include "core/log.hpp"
 
 namespace fekf::dispatch {
@@ -49,7 +49,7 @@ bool Registry::parse_backend(std::string_view text,
 }
 
 Registry::Registry() : detected_(detected_cpu_features()) {
-  if (const char* env = std::getenv("FEKF_KERNEL_BACKEND")) {
+  if (const char* env = env::get("FEKF_KERNEL_BACKEND")) {
     if (!parse_backend(env, &requested_)) {
       // Unknown names degrade to auto — an env typo must not abort
       // training, and auto is the always-safe bit-exact policy.

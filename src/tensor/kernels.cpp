@@ -38,6 +38,12 @@ dispatch::Dispatched<dispatch::TanhChunkFn>& tanh_dispatch() {
   return d;
 }
 
+dispatch::Dispatched<dispatch::MatNtPanelFn>& matnt_dispatch() {
+  static dispatch::Dispatched<dispatch::MatNtPanelFn> d(
+      "matnt_f32", &dispatch::register_matnt_variants);
+  return d;
+}
+
 dispatch::Dispatched<dispatch::SymvPanelFn>& symv_dispatch() {
   static dispatch::Dispatched<dispatch::SymvPanelFn> d(
       "ekf_symv_f64", &dispatch::register_ekf_variants);
@@ -190,6 +196,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   FEKF_CHECK(a.cols() == b.cols(), "matmul_nt: inner dims " + a.shape_str() +
                                        " * " + b.shape_str() + "^T");
   KernelLaunch launch("matmul_nt");
+  const dispatch::MatNtPanelFn fn = matnt_dispatch().get();
   const i64 m = a.rows(), k = a.cols(), n = b.rows();
   Tensor out(m, n);
   const f32* __restrict__ pa = a.data();
@@ -197,19 +204,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   f32* __restrict__ po = out.data();
   parallel_for_blocks(
       0, m,
-      [&](i64 rlo, i64 rhi) {
-        for (i64 i = rlo; i < rhi; ++i) {
-          const f32* __restrict__ arow = pa + i * k;
-          for (i64 j = 0; j < n; ++j) {
-            const f32* __restrict__ brow = pb + j * k;
-            f64 acc = 0.0;
-            for (i64 l = 0; l < k; ++l) {
-              acc += static_cast<f64>(arow[l]) * brow[l];
-            }
-            po[i * n + j] = static_cast<f32>(acc);
-          }
-        }
-      },
+      [&](i64 rlo, i64 rhi) { fn(pa, pb, po, rlo, rhi, n, k); },
       grain_items(k * n));
   return out;
 }
@@ -360,25 +355,15 @@ void linear_tanh_backward(const Tensor& gy, const Tensor& y, const Tensor& x,
         }
       },
       kGrainWork);
-  // gx = u w^T (matmul_nt ordering: f64 accumulator, ascending l).
+  // gx = u w^T (matmul_nt ordering: f64 accumulator, ascending l) via the
+  // shared matnt_f32 panel body.
   gx = Tensor(m, k);
+  const dispatch::MatNtPanelFn nt_fn = matnt_dispatch().get();
   const f32* __restrict__ pw = w.data();
   f32* __restrict__ pgx = gx.data();
   parallel_for_blocks(
       0, m,
-      [&](i64 rlo, i64 rhi) {
-        for (i64 i = rlo; i < rhi; ++i) {
-          const f32* __restrict__ urow = pu + i * n;
-          for (i64 j = 0; j < k; ++j) {
-            const f32* __restrict__ wrow = pw + j * n;
-            f64 acc = 0.0;
-            for (i64 l = 0; l < n; ++l) {
-              acc += static_cast<f64>(urow[l]) * wrow[l];
-            }
-            pgx[i * k + j] = static_cast<f32>(acc);
-          }
-        }
-      },
+      [&](i64 rlo, i64 rhi) { nt_fn(pu, pw, pgx, rlo, rhi, k, n); },
       grain_items(n * k));
   // gw = x^T u (matmul_tn ordering: f32 accumulation over ascending sample
   // rows, output-row panels).

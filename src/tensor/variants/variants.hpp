@@ -13,6 +13,8 @@
 //   "ekf_dot_f64"       DotChunkFn       partial <a,b> over one reduce chunk
 //   "ekf_rank1_f64"     Rank1PanelFn     row panel of the pair-averaged
 //                                        symmetric rank-1 P update
+//   "matnt_f32"         MatNtPanelFn     row panel of out = a·bᵀ with a
+//                                        per-output f64 accumulator
 //   "desc_contract_f32" DescContractFn   one block of D = A·(A^<)ᵀ
 //                                        (registered by src/deepmd)
 #pragma once
@@ -49,6 +51,16 @@ using DotChunkFn = f64 (*)(const f64* a, const f64* b, i64 lo, i64 hi);
 using Rank1PanelFn = void (*)(f64* p, const f64* k, f64 coeff, f64 inv_lambda,
                               i64 rlo, i64 rhi, i64 n);
 
+/// Rows [rlo, rhi) of out(:, n) = a(:, q) · b(n, q)ᵀ with one f64
+/// accumulator per output element over ascending l:
+///   out[i*n + j] = f32( Σ_{l<q} f64(a[i*q + l]) · f64(b[j*q + l]) )
+/// — the matmul_nt / bmm_nt / linear_tanh_backward-gx reference order.
+/// The f64 product of two f32 values is exact, so fused and unfused
+/// multiply-adds round identically and any variant keeping each output's
+/// ascending-l chain is bit_exact (see nt_variants.cpp).
+using MatNtPanelFn = void (*)(const f32* a, const f32* b, f32* out, i64 rlo,
+                              i64 rhi, i64 n, i64 q);
+
 /// One atom block of the descriptor tail D = A·(A^<)ᵀ: for i < m,
 /// j < m_axis, ob[i, j] = sum_l ab[i, l] * ab[j, l] with an f64
 /// accumulator (the bmm_nt reference order).
@@ -62,5 +74,6 @@ using DescContractFn = void (*)(const f32* ab, f32* ob, i64 m, i64 m_axis,
 void register_gemm_variants();
 void register_tanh_variants();
 void register_ekf_variants();
+void register_matnt_variants();
 
 }  // namespace fekf::dispatch

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "core/env.hpp"
+
 namespace fekf {
 
 namespace {
@@ -21,12 +23,7 @@ constexpr i64 kAlignElems = 16;
 std::atomic<i64> g_arm_depth{0};
 
 std::atomic<bool>& enabled_flag() {
-  static std::atomic<bool> flag{[] {
-    const char* env = std::getenv("FEKF_ARENA");
-    if (env == nullptr) return true;
-    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
-             std::strcmp(env, "false") == 0);
-  }()};
+  static std::atomic<bool> flag{env::get_flag("FEKF_ARENA", true)};
   return flag;
 }
 

@@ -30,15 +30,16 @@ namespace {
 
 namespace dp = dispatch;
 
-/// All six families; registration hooks are idempotent.
+/// All seven families; registration hooks are idempotent.
 const std::vector<std::string>& all_families() {
   dp::register_gemm_variants();
   dp::register_tanh_variants();
   dp::register_ekf_variants();
+  dp::register_matnt_variants();
   dp::register_desc_variants();
   static const std::vector<std::string> families = {
-      "gemm_f32",     "tanh_f32",      "ekf_symv_f64",
-      "ekf_dot_f64",  "ekf_rank1_f64", "desc_contract_f32"};
+      "gemm_f32",     "tanh_f32",      "ekf_symv_f64",    "ekf_dot_f64",
+      "ekf_rank1_f64", "matnt_f32",    "desc_contract_f32"};
   return families;
 }
 
@@ -358,6 +359,42 @@ TEST(DispatchExactness, Rank1VariantsAreBitExact) {
                                              inv_lambda, 19, n, n);
     EXPECT_TRUE(bytes_equal(ref, split));
   });
+}
+
+TEST(DispatchExactness, MatNtVariantsAreBitExact) {
+  dp::register_matnt_variants();
+  const auto scalar = reinterpret_cast<dp::MatNtPanelFn>(
+      dp::Registry::instance().find("matnt_f32", "scalar")->fn);
+  // The shapes the family actually serves: the bmm_nt descriptor block
+  // (n=6, q=4: 4-lane main + 2-wide tail), the gx backward panel
+  // (n=q=50: 8-lane + 4-lane + 2 tail), a sub-4 n (delegates to scalar),
+  // an odd everything, and one past the transpose cap (delegate path).
+  struct Shape { i64 m, n, q; };
+  const std::vector<Shape> shapes = {
+      {12, 6, 4}, {9, 50, 50}, {7, 3, 11}, {5, 13, 7}, {3, 70, 64}};
+  for (const Shape& s : shapes) {
+    SCOPED_TRACE("m=" + std::to_string(s.m) + " n=" + std::to_string(s.n) +
+                 " q=" + std::to_string(s.q));
+    const std::vector<f32> a = randn_f32(s.m * s.q, 71);
+    const std::vector<f32> b = randn_f32(s.n * s.q, 72);
+    std::vector<f32> ref(static_cast<std::size_t>(s.m * s.n));
+    scalar(a.data(), b.data(), ref.data(), 0, s.m, s.n, s.q);
+    for_each_checked_variant("matnt_f32", [&](const dp::Variant& v) {
+      ASSERT_EQ(v.exactness, dp::Exactness::kBitExact);
+      std::vector<f32> out(static_cast<std::size_t>(s.m * s.n), -7.0f);
+      reinterpret_cast<dp::MatNtPanelFn>(v.fn)(a.data(), b.data(), out.data(),
+                                               0, s.m, s.n, s.q);
+      EXPECT_TRUE(bytes_equal(ref, out));
+      // Panel split at an arbitrary row must compose to the same matrix.
+      std::vector<f32> split(static_cast<std::size_t>(s.m * s.n), -7.0f);
+      reinterpret_cast<dp::MatNtPanelFn>(v.fn)(a.data(), b.data(),
+                                               split.data(), 0, 2, s.n, s.q);
+      reinterpret_cast<dp::MatNtPanelFn>(v.fn)(a.data(), b.data(),
+                                               split.data(), 2, s.m, s.n,
+                                               s.q);
+      EXPECT_TRUE(bytes_equal(ref, split));
+    });
+  }
 }
 
 TEST(DispatchExactness, DescContractVariantsHoldTheMassRelativeBound) {

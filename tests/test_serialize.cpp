@@ -8,9 +8,9 @@
 #include <unistd.h>
 
 #include "data/dataset.hpp"
-#include "deepmd/model_potential.hpp"
 #include "deepmd/serialize.hpp"
 #include "md/langevin.hpp"
+#include "serve/potential.hpp"
 #include "train/trainer.hpp"
 
 namespace fekf::deepmd {
@@ -167,7 +167,7 @@ TEST(ModelPotential, MatchesDirectPrediction) {
   data::Dataset ds = small_dataset("Cu");
   DeepmdModel model(small_config(), 1);
   model.fit_stats(ds.train);
-  ModelPotential potential(model);
+  serve::ModelPotential potential(model);
   const md::Snapshot& snap = ds.test.front();
 
   md::EnergyForces ef =
@@ -194,7 +194,7 @@ TEST(ModelPotential, DrivesStableDynamics) {
   data::Dataset ds = small_dataset("Cu");
   DeepmdModel model(small_config(), 1);
   model.fit_stats(ds.train);
-  ModelPotential potential(model);
+  serve::ModelPotential potential(model);
 
   md::System sys;
   const md::Snapshot& snap = ds.train.front();
