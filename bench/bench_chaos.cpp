@@ -23,6 +23,7 @@
 #include "bench_common.hpp"
 #include "core/fault.hpp"
 #include "dist/cluster.hpp"
+#include "obs/metrics.hpp"
 
 using namespace fekf;
 using namespace fekf::bench;
@@ -42,6 +43,11 @@ struct Cell {
   f64 retry_seconds = 0.0;
   f64 retry_ratio = 0.0;         ///< retry_seconds / comm_seconds
   f64 drop_overhead_frac = 0.0;  ///< comm vs the clean cell, same ranks
+  // Per-step simulated time distribution (dist.step_sim_seconds): the
+  // degraded cells show their cost as a fattened tail, not just a mean.
+  f64 step_p50_s = 0.0;
+  f64 step_p90_s = 0.0;
+  f64 step_p99_s = 0.0;
 };
 
 /// The churn scenario's ledger summary; recovery_seconds is the
@@ -82,6 +88,12 @@ int main(int argc, char** argv) {
             "fault DSL spec for the churn scenario")
       .flag("json", "", "also write the JSON document to this file");
   if (!cli.parse(argc, argv)) return 0;
+
+  // The per-step simulated-time histogram (dist.step_sim_seconds) only
+  // records when metrics are on; the sweep reports its quantiles per cell.
+  obs::set_metrics_enabled(true);
+  obs::Histogram& step_hist =
+      obs::MetricsRegistry::instance().histogram("dist.step_sim_seconds");
 
   const i64 batch = cli.get_int("batch");
   const i64 epochs = cli.get_int("epochs");
@@ -130,6 +142,7 @@ int main(int argc, char** argv) {
   for (const i64 ranks : rank_list) {
     f64 reference_comm = -1.0;
     for (const f64 drop_p : drop_list) {
+      step_hist.reset();
       dist::DistributedResult r = run_cluster(ranks, drop_p, "");
       Cell c;
       c.name = "r" + std::to_string(ranks) + "_p" + fmt("%g", drop_p);
@@ -147,6 +160,9 @@ int main(int argc, char** argv) {
       if (reference_comm < 0.0) reference_comm = c.comm_seconds;
       c.drop_overhead_frac =
           reference_comm > 0.0 ? c.comm_seconds / reference_comm - 1.0 : 0.0;
+      c.step_p50_s = step_hist.percentile(0.50);
+      c.step_p90_s = step_hist.percentile(0.90);
+      c.step_p99_s = step_hist.percentile(0.99);
       cells.push_back(c);
     }
   }
@@ -171,14 +187,18 @@ int main(int argc, char** argv) {
   }
 
   Table table({"cell", "ranks", "drop p", "steps", "comm s", "drops",
-               "corrupt", "retries", "retry ratio", "overhead"});
+               "corrupt", "retries", "retry ratio", "overhead",
+               "step p50/p90/p99 ms"});
   for (const Cell& c : cells) {
     table.add_row({c.name, std::to_string(c.ranks), fmt("%g", c.drop_p),
                    std::to_string(c.steps), fmt("%.6f", c.comm_seconds),
                    std::to_string(c.msg_drops),
                    std::to_string(c.msg_corrupts), std::to_string(c.retries),
                    fmt("%.4f", c.retry_ratio),
-                   fmt("%+.1f%%", 100.0 * c.drop_overhead_frac)});
+                   fmt("%+.1f%%", 100.0 * c.drop_overhead_frac),
+                   fmt("%.3f", 1e3 * c.step_p50_s) + "/" +
+                       fmt("%.3f", 1e3 * c.step_p90_s) + "/" +
+                       fmt("%.3f", 1e3 * c.step_p99_s)});
   }
   table.print();
   std::printf(
@@ -211,7 +231,9 @@ int main(int argc, char** argv) {
             ", \"retry_seconds\": " + fmt("%.9f", c.retry_seconds) +
             ", \"retry_ratio\": " + fmt("%.6f", c.retry_ratio) +
             ", \"drop_overhead_frac\": " + fmt("%.6f", c.drop_overhead_frac) +
-            "}";
+            ", \"step_p50_s\": " + fmt("%.9f", c.step_p50_s) +
+            ", \"step_p90_s\": " + fmt("%.9f", c.step_p90_s) +
+            ", \"step_p99_s\": " + fmt("%.9f", c.step_p99_s) + "}";
     json += i + 1 < cells.size() ? ",\n" : "\n";
   }
   json += "  ],\n";

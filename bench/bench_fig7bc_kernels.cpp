@@ -281,6 +281,9 @@ int main(int argc, char** argv) {
   const i64 iters = cli.get_int("iters");
 
   std::vector<Sample> samples;
+  // Tracing-overhead A/B on the fused configuration (filled in the loop).
+  f64 obs_traced_s = 0.0;
+  f64 obs_untraced_s = 0.0;
   for (const Config& config : configs) {
     Fixture f = make_fixture(cli.get("system"), cli);
     f.model->set_fusion(config.fusion);
@@ -416,6 +419,33 @@ int main(int argc, char** argv) {
                 return a.second != b.second ? a.second > b.second
                                             : a.first < b.first;
               });
+    // Tracing-overhead A/B (the fused config only — the production step):
+    // alternate untraced and traced passes of the same updates so host
+    // noise hits both arms equally, keep the best of each. The ratio is
+    // the "span recording is always cheap" claim as a number; the "obs"
+    // section of ci/budgets.json holds it to 1.05x. Min-of-5 per arm: on
+    // a loaded 1-core CI host single passes wobble several percent, and
+    // the min is the robust estimator of the noise-free pass.
+    if (config.fused_step) {
+      constexpr int kReps = 5;
+      obs_untraced_s = 1e300;
+      obs_traced_s = 1e300;
+      for (int rep = 0; rep < kReps; ++rep) {
+        for (const bool traced : {false, true}) {
+          recorder.set_enabled(traced);
+          const auto t0 = std::chrono::steady_clock::now();
+          trainer.energy_update(batch_span);
+          trainer.force_update(batch_span, groups[rep % 4]);
+          const f64 pass_s =
+              std::chrono::duration<f64>(std::chrono::steady_clock::now() -
+                                         t0)
+                  .count();
+          (traced ? obs_traced_s : obs_untraced_s) =
+              std::min(traced ? obs_traced_s : obs_untraced_s, pass_s);
+        }
+      }
+      recorder.set_enabled(trace_was_enabled);
+    }
     samples.push_back(sample);
     std::printf("  %-8s measured\n", config.name);
   }
@@ -525,6 +555,13 @@ int main(int argc, char** argv) {
               "descriptor derivatives) and the iteration accelerates "
               "step-by-step (paper total: 3.48x on the A100).\n");
 
+  const f64 traced_over_untraced =
+      obs_untraced_s > 0.0 ? obs_traced_s / obs_untraced_s : 0.0;
+  std::printf("\nTracing overhead (fused step, best of 5 alternating "
+              "passes): untraced %.3fs, traced %.3fs, ratio %.3fx "
+              "(budget: obs.max_traced_over_untraced)\n",
+              obs_untraced_s, obs_traced_s, traced_over_untraced);
+
   // Per-variant dispatch micro table (DESIGN.md §13). Rows are keyed
   // "dispatch.<kernel>.<variant>" in ci/budgets.json, and docs/KERNELS.md
   // mirrors this table — ci/check_budgets.py --kernels-doc flags drift.
@@ -587,6 +624,10 @@ int main(int argc, char** argv) {
     json += c + 1 < samples.size() ? ",\n" : "\n";
   }
   json += "  ],\n";
+  json += "  \"obs\": {\"untraced_total_s\": " + fmt("%.6f", obs_untraced_s) +
+          ", \"traced_total_s\": " + fmt("%.6f", obs_traced_s) +
+          ", \"traced_over_untraced\": " + fmt("%.4f", traced_over_untraced) +
+          "},\n";
   json += "  \"dispatch\": {\n";
   json += "    \"backend\": \"" +
           std::string(requested ? dp::level_name(*requested) : "auto") +

@@ -31,15 +31,18 @@
 #include <chrono>
 #include <cstdio>
 #include <future>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/env.hpp"
 #include "core/rng.hpp"
 #include "core/table.hpp"
 #include "md/lattice.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/batching.hpp"
 #include "serve/registry.hpp"
 #include "tensor/kernel_counter.hpp"
@@ -72,6 +75,22 @@ struct StreamResult {
   i64 batches = 0;
   f64 occupancy_mean = 0.0;
 };
+
+/// Interpolated histogram quantiles for one request-level SLO surface.
+struct Slo {
+  f64 p50_s = 0.0;
+  f64 p90_s = 0.0;
+  f64 p99_s = 0.0;
+};
+
+std::string json_string_array(const std::vector<std::string>& names) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out += "\"" + names[i] + "\"";
+    if (i + 1 < names.size()) out += ", ";
+  }
+  return out + "]";
+}
 
 }  // namespace
 
@@ -295,12 +314,20 @@ int main(int argc, char** argv) {
 
   // --- batched: concurrent walkers through the BatchingEvaluator ----------
   StreamResult batched;
+  Slo request_latency;
+  Slo queue_wait;
   batched.requests = total_requests;
   {
     serve::BatchingConfig bcfg;
     bcfg.max_batch = cli.get_int("max_batch");
     bcfg.max_wait_s = static_cast<f64>(cli.get_int("max_wait_us")) * 1e-6;
     serve::BatchingEvaluator evaluator(registry, bcfg);
+
+    // The request-level SLO histograms must cover exactly this leg: the
+    // percentiles below gate ci/budgets.json "obs" budgets, so earlier
+    // warm-up traffic may not dilute them.
+    metrics.histogram("serve.request_latency_seconds").reset();
+    metrics.histogram("serve.queue_wait_seconds").reset();
 
     const i64 batches_before = metrics.counter("serve.batches").value();
     const f64 occ_count_before =
@@ -343,6 +370,19 @@ int main(int argc, char** argv) {
     const f64 occ_sum =
         metrics.histogram("serve.batch_occupancy").sum() - occ_sum_before;
     batched.occupancy_mean = occ_count > 0.0 ? occ_sum / occ_count : 0.0;
+
+    // Request-level SLOs from the metrics histograms themselves (the same
+    // quantiles a live FEKF_TELEMETRY sampler would report), not from the
+    // bench's private latency vector: this is the export surface the
+    // "obs" budgets gate, so the gate exercises the production path.
+    const obs::Histogram& lat =
+        metrics.histogram("serve.request_latency_seconds");
+    request_latency = {lat.percentile(0.50), lat.percentile(0.90),
+                       lat.percentile(0.99)};
+    const obs::Histogram& wait =
+        metrics.histogram("serve.queue_wait_seconds");
+    queue_wait = {wait.percentile(0.50), wait.percentile(0.90),
+                  wait.percentile(0.99)};
   }
   // The headline gate: batched vs the unbatched path at the same 64-walker
   // concurrency. serial_ratio (vs one lone unbatched walker) is reported
@@ -421,6 +461,50 @@ int main(int argc, char** argv) {
     evaluator.shutdown();
   }
 
+  // --- obs inventory: the observable surface, for the --obs-doc gate ------
+  // A short traced leg replays the serving scenario with span recording on
+  // and collects every distinct event name that fired; together with the
+  // registered metric and env-knob names this is the machine-readable
+  // inventory ci/check_budgets.py --obs-doc diffs against
+  // docs/OBSERVABILITY.md (same drift contract as --kernels-doc).
+  std::vector<std::string> span_names;
+  {
+    auto& recorder = obs::TraceRecorder::instance();
+    const bool was_enabled = obs::TraceRecorder::enabled();
+    recorder.clear();
+    recorder.set_enabled(true);
+    {
+      serve::BatchingConfig bcfg;
+      bcfg.max_batch = cli.get_int("max_batch");
+      bcfg.max_wait_s = static_cast<f64>(cli.get_int("max_wait_us")) * 1e-6;
+      serve::BatchingEvaluator evaluator(registry, bcfg);
+      for (i64 k = 0; k < 4; ++k) {
+        (void)evaluator.evaluate(request_for(0, k));
+      }
+      evaluator.shutdown();
+    }
+    (void)serve::evaluate_with(*fixture.model, request_for(0, 0));
+    recorder.set_enabled(was_enabled);
+    std::set<std::string> unique;
+    for (const obs::TraceEvent& e : recorder.snapshot()) {
+      unique.insert(e.name);
+    }
+    recorder.clear();
+    span_names.assign(unique.begin(), unique.end());
+  }
+  std::vector<std::string> metric_names;
+  {
+    std::set<std::string> unique;
+    for (const std::string& n : metrics.counter_names()) unique.insert(n);
+    for (const std::string& n : metrics.gauge_names()) unique.insert(n);
+    for (const std::string& n : metrics.histogram_names()) unique.insert(n);
+    metric_names.assign(unique.begin(), unique.end());
+  }
+  std::vector<std::string> knob_names;
+  for (const env::Knob& knob : env::knobs()) {
+    knob_names.emplace_back(knob.name);
+  }
+
   Table table({"scenario", "requests", "total s", "req/s", "p50 ms",
                "p99 ms", "batches", "occupancy"});
   table.add_row({"serial", std::to_string(serial.requests),
@@ -456,6 +540,12 @@ int main(int argc, char** argv) {
       static_cast<long long>(mixed_requests),
       static_cast<long long>(pinned_wrong_version),
       static_cast<unsigned long long>(latest_served));
+  std::printf(
+      "request SLOs (histogram quantiles): latency p50/p90/p99 = "
+      "%.2f/%.2f/%.2f ms, queue wait p50/p90/p99 = %.2f/%.2f/%.2f ms\n",
+      1e3 * request_latency.p50_s, 1e3 * request_latency.p90_s,
+      1e3 * request_latency.p99_s, 1e3 * queue_wait.p50_s,
+      1e3 * queue_wait.p90_s, 1e3 * queue_wait.p99_s);
 
   std::string json = "{\n  \"bench\": \"bench_serving\",\n";
   json += "  \"system\": \"" + fixture.system + "\",\n";
@@ -491,7 +581,14 @@ int main(int argc, char** argv) {
           ", \"p99_latency_s\": " + fmt("%.9f", batched.p99_latency_s) +
           ", \"batches\": " + std::to_string(batched.batches) +
           ", \"occupancy_mean\": " + fmt("%.3f", batched.occupancy_mean) +
-          "},\n";
+          ",\n    \"request_latency\": {\"p50_s\": " +
+          fmt("%.9f", request_latency.p50_s) +
+          ", \"p90_s\": " + fmt("%.9f", request_latency.p90_s) +
+          ", \"p99_s\": " + fmt("%.9f", request_latency.p99_s) +
+          "},\n    \"queue_wait\": {\"p50_s\": " +
+          fmt("%.9f", queue_wait.p50_s) +
+          ", \"p90_s\": " + fmt("%.9f", queue_wait.p90_s) +
+          ", \"p99_s\": " + fmt("%.9f", queue_wait.p99_s) + "}},\n";
   json += "  \"batched_speedup\": " + fmt("%.4f", batched_speedup) + ",\n";
   json += "  \"serial_ratio\": " + fmt("%.4f", serial_ratio) + ",\n";
   json += "  \"publish\": {\"publishes\": " + std::to_string(publishes) +
@@ -505,7 +602,12 @@ int main(int argc, char** argv) {
           ", \"pinned_wrong_version\": " +
           std::to_string(pinned_wrong_version) +
           ", \"latest_served_version\": " + std::to_string(latest_served) +
-          "}\n}\n";
+          "},\n";
+  json += "  \"obs\": {\n";
+  json += "    \"spans\": " + json_string_array(span_names) + ",\n";
+  json += "    \"metrics\": " + json_string_array(metric_names) + ",\n";
+  json += "    \"knobs\": " + json_string_array(knob_names) + "\n";
+  json += "  }\n}\n";
   std::printf("\n%s", json.c_str());
   if (!cli.get("json").empty()) {
     std::FILE* f = std::fopen(cli.get("json").c_str(), "w");

@@ -119,7 +119,8 @@ for ty in $BUILD_TYPES; do
       --fusion "$ARTIFACTS/fusion.json" \
       --chaos "$ARTIFACTS/chaos.json" \
       --serving "$ARTIFACTS/serving.json" \
-      --kernels-doc docs/KERNELS.md
+      --kernels-doc docs/KERNELS.md \
+      --obs-doc docs/OBSERVABILITY.md
     python3 ci/check_budgets.py \
       --fig7bc "$ARTIFACTS/fig7bc_kernels.json" \
       --fusion "$ARTIFACTS/fusion.json" \

@@ -32,9 +32,18 @@ class Error : public std::runtime_error {
   }
 };
 
+/// Observability notification fired by fail() just before it throws
+/// (defined in core/fault.cpp). One relaxed atomic load when no hook is
+/// installed; the flight recorder uses it to dump its ring on FEKF_CHECK
+/// failures. Must never throw — fail() is the throwing path.
+void notify_failure(const char* what) noexcept;
+using FailureHook = void (*)(const char* what);
+void set_failure_hook(FailureHook hook);
+
 [[noreturn]] inline void fail(const std::string& msg,
                               std::source_location loc =
                                   std::source_location::current()) {
+  notify_failure(msg.c_str());
   throw Error(msg, loc);
 }
 

@@ -40,6 +40,12 @@ constexpr Knob kKnobs[] = {
     {"FEKF_METRICS",
      "Path for a metrics-registry JSON dump at exit; setting it enables "
      "counters/histograms (default off)"},
+    {"FEKF_FLIGHT",
+     "Arm the flight recorder: <path>[,events=<n>] — bounded per-thread "
+     "ring dumped as a Chrome trace on faults/crashes (default off)"},
+    {"FEKF_TELEMETRY",
+     "Live metrics sampler: <path>[,interval=<ms>] appends one JSONL "
+     "snapshot per interval (default off; interval 250ms)"},
     {"FEKF_FAULT_SPEC",
      "Fault-injection DSL, e.g. 'nan_grad@step=40 rank_fail@step=60' "
      "(default: no faults)"},

@@ -7,6 +7,28 @@
 
 namespace fekf {
 
+namespace detail {
+std::atomic<FaultHook> g_fault_hook{nullptr};
+}  // namespace detail
+
+void set_fault_hook(FaultHook hook) {
+  detail::g_fault_hook.store(hook, std::memory_order_relaxed);
+}
+
+namespace {
+std::atomic<FailureHook> g_failure_hook{nullptr};
+}  // namespace
+
+void set_failure_hook(FailureHook hook) {
+  g_failure_hook.store(hook, std::memory_order_relaxed);
+}
+
+void notify_failure(const char* what) noexcept {
+  if (FailureHook hook = g_failure_hook.load(std::memory_order_relaxed)) {
+    hook(what);
+  }
+}
+
 namespace {
 
 constexpr std::string_view kKnownKinds[] = {

@@ -54,6 +54,7 @@
 // Error naming the offending token (tests/test_core.cpp).
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -92,6 +93,23 @@ struct FaultEvent {
   std::string detail;  ///< free text (exception message, signal values)
 };
 
+/// Observability hook fired after every FaultLog::record — the flight
+/// recorder registers one so divergence rollbacks, injected faults, and
+/// cluster membership events each flush a post-mortem trace. One relaxed
+/// atomic load per record when no hook is installed. The hook runs on the
+/// recording thread and must not throw.
+using FaultHook = void (*)(const FaultEvent& event);
+void set_fault_hook(FaultHook hook);
+
+namespace detail {
+extern std::atomic<FaultHook> g_fault_hook;
+inline void notify_fault(const FaultEvent& event) {
+  if (FaultHook hook = g_fault_hook.load(std::memory_order_relaxed)) {
+    hook(event);
+  }
+}
+}  // namespace detail
+
 struct FaultLog {
   std::vector<FaultEvent> events;
 
@@ -99,6 +117,7 @@ struct FaultLog {
               std::string detail = {}) {
     events.push_back({step, std::move(kind), std::move(action),
                       std::move(detail)});
+    ::fekf::detail::notify_fault(events.back());
   }
   i64 count(std::string_view kind) const {
     i64 n = 0;

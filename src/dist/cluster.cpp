@@ -502,6 +502,22 @@ DistributedResult train_fekf_distributed(
           metrics.counter("dist.allreduces").inc();
           metrics.gauge("dist.sim_comm_seconds")
               .set(ledger.comm_seconds);
+          // CommLedger mirror, so the telemetry sampler's time-series
+          // carries the lossy-link / membership accounting live instead
+          // of only in the end-of-run TrainResult.
+          metrics.gauge("dist.msg_drops")
+              .set(static_cast<f64>(ledger.msg_drops));
+          metrics.gauge("dist.msg_corrupts")
+              .set(static_cast<f64>(ledger.msg_corrupts));
+          metrics.gauge("dist.retries")
+              .set(static_cast<f64>(ledger.retries));
+          metrics.gauge("dist.retry_seconds").set(ledger.retry_seconds);
+          metrics.gauge("dist.reshard_seconds").set(ledger.reshard_seconds);
+          metrics.gauge("dist.join_seconds").set(ledger.join_seconds);
+          metrics.gauge("dist.detection_seconds")
+              .set(ledger.detection_seconds);
+          metrics.gauge("dist.straggler_wait_seconds")
+              .set(ledger.straggler_wait_seconds);
         }
 
         Stopwatch kf_watch;
@@ -516,6 +532,14 @@ DistributedResult train_fekf_distributed(
 
         result.compute_seconds += compute_s + kf_seconds;
         result.simulated_seconds += compute_s + comm_s + kf_seconds;
+        if (obs::metrics_enabled()) {
+          // Per-step distribution (not just the running totals above):
+          // bench_chaos reports its p50/p90/p99 per sweep cell, where the
+          // straggler and lossy-link arms show up as a fattened tail.
+          obs::MetricsRegistry::instance()
+              .histogram("dist.step_sim_seconds")
+              .record(compute_s + comm_s + kf_seconds);
+        }
       };
 
   Stopwatch total_watch;

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -90,6 +91,39 @@ f64 Histogram::bucket_upper_bound(int i) {
   return std::exp2(static_cast<f64>(kMinExp + i));
 }
 
+f64 Histogram::percentile(f64 q) const {
+  const i64 n = count();
+  if (n <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Target rank in [1, n]; walk the cumulative bucket counts to find the
+  // bucket that holds it, then place the rank linearly inside the
+  // bucket's [lower, upper] value range. Log2 buckets make this an upper
+  // bound on the true quantile error of one octave; the min/max clamp
+  // restores exactness at the tails.
+  const f64 rank = q * static_cast<f64>(n);
+  i64 cumulative = 0;
+  f64 value = max();
+  for (int b = 0; b < kBuckets; ++b) {
+    const i64 in_bucket = bucket_count(b);
+    if (in_bucket == 0) continue;
+    if (static_cast<f64>(cumulative + in_bucket) >= rank) {
+      if (b == kBuckets - 1) {
+        value = max();  // overflow bin has no finite upper bound
+      } else {
+        const f64 upper = bucket_upper_bound(b);
+        const f64 lower = b == 0 ? 0.0 : bucket_upper_bound(b - 1);
+        const f64 frac =
+            (rank - static_cast<f64>(cumulative)) / static_cast<f64>(in_bucket);
+        value = lower + frac * (upper - lower);
+      }
+      break;
+    }
+    cumulative += in_bucket;
+  }
+  return std::min(std::max(value, min()), max());
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -149,6 +183,22 @@ std::vector<std::string> MetricsRegistry::counter_names() const {
   return names;
 }
 
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::string> names;
+  names.reserve(impl_->gauges.size());
+  for (const auto& [name, gauge] : impl_->gauges) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::string> names;
+  names.reserve(impl_->histograms.size());
+  for (const auto& [name, hist] : impl_->histograms) names.push_back(name);
+  return names;
+}
+
 std::string MetricsRegistry::json() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   std::string out = "{\n  \"counters\": {";
@@ -185,6 +235,12 @@ std::string MetricsRegistry::json() const {
     append_number(out, hist->count() > 0 ? hist->max() : 0.0);
     out += ", \"mean\": ";
     append_number(out, hist->mean());
+    out += ", \"p50\": ";
+    append_number(out, hist->percentile(0.50));
+    out += ", \"p90\": ";
+    append_number(out, hist->percentile(0.90));
+    out += ", \"p99\": ";
+    append_number(out, hist->percentile(0.99));
     out += ", \"buckets\": [";
     bool first_bucket = true;
     for (int b = 0; b < Histogram::kBuckets; ++b) {
@@ -199,6 +255,47 @@ std::string MetricsRegistry::json() const {
     out += "]}";
   }
   out += "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::compact_json(f64 t_s) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::string out = "{\"t_s\": ";
+  append_number(out, t_s);
+  out += ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : impl_->counters) {
+    if (!first) out += ", ";
+    first = false;
+    append_escaped(out, name);
+    out += ": " + std::to_string(counter->value());
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : impl_->gauges) {
+    if (!first) out += ", ";
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    append_number(out, gauge->value());
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : impl_->histograms) {
+    if (!first) out += ", ";
+    first = false;
+    append_escaped(out, name);
+    out += ": {\"count\": " + std::to_string(hist->count()) + ", \"sum\": ";
+    append_number(out, hist->sum());
+    out += ", \"p50\": ";
+    append_number(out, hist->percentile(0.50));
+    out += ", \"p90\": ";
+    append_number(out, hist->percentile(0.90));
+    out += ", \"p99\": ";
+    append_number(out, hist->percentile(0.99));
+    out += "}";
+  }
+  out += "}}";
   return out;
 }
 

@@ -113,6 +113,13 @@ class Histogram {
   /// Inclusive upper bound of bucket i (+inf for the overflow bin).
   static f64 bucket_upper_bound(int i);
 
+  /// Estimated quantile (q in [0, 1]) by linear interpolation inside the
+  /// log2 bucket holding the target rank, clamped to the exact observed
+  /// [min, max] (so p0/p100 are exact and a single-sample histogram
+  /// returns that sample). Overflow-bin ranks return max(); an empty
+  /// histogram returns 0.
+  f64 percentile(f64 q) const;
+
   void reset();
 
  private:
@@ -137,14 +144,23 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
-  /// Sorted instrument names per kind (tests / tooling).
+  /// Sorted instrument names per kind (tests / tooling / the
+  /// docs/OBSERVABILITY.md drift gate).
   std::vector<std::string> counter_names() const;
+  std::vector<std::string> gauge_names() const;
+  std::vector<std::string> histogram_names() const;
 
   /// The whole registry as a JSON object:
   ///   {"counters": {...}, "gauges": {...}, "histograms": {name:
-  ///    {"count", "sum", "min", "max", "mean", "buckets": [{"le", n}...]}}}
+  ///    {"count", "sum", "min", "max", "mean", "p50", "p90", "p99",
+  ///     "buckets": [{"le", n}...]}}}
   std::string json() const;
   void write_json(const std::string& path) const;
+
+  /// One-line JSON snapshot for the telemetry sampler's JSONL stream:
+  /// histograms carry count/sum/p50/p90/p99 instead of raw buckets, and a
+  /// leading "t_s" stamps the sample time.
+  std::string compact_json(f64 t_s) const;
 
   /// Zero every instrument (registrations survive).
   void reset();

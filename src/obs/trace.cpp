@@ -10,11 +10,13 @@
 
 #include "core/env.hpp"
 #include "core/log.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 
 namespace fekf::obs {
 
-std::atomic<bool> TraceRecorder::enabled_{false};
+std::atomic<u32> TraceRecorder::capture_{0};
 std::atomic<bool> TraceRecorder::kernel_spans_{false};
 
 namespace {
@@ -24,9 +26,25 @@ std::chrono::steady_clock::time_point trace_epoch() {
   return t0;
 }
 
+void append_json_number(std::string& out, f64 v) {
+  // JSON has no NaN/Infinity literals; args carrying a diverged value
+  // (e.g. a NaN ABE on a rolled-back step) export as null.
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+namespace detail {
+
 /// JSON string escaper for names/categories/keys (all repo-controlled
 /// literals, but exported files must stay valid for any input).
-void append_json_string(std::string& out, const char* s) {
+void append_json_escaped(std::string& out, const char* s) {
   out += '"';
   for (; *s != '\0'; ++s) {
     const char c = *s;
@@ -49,19 +67,65 @@ void append_json_string(std::string& out, const char* s) {
   out += '"';
 }
 
-void append_json_number(std::string& out, f64 v) {
-  // JSON has no NaN/Infinity literals; args carrying a diverged value
-  // (e.g. a NaN ABE on a rolled-back step) export as null.
-  if (!std::isfinite(v)) {
-    out += "null";
-    return;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out += buf;
-}
+}  // namespace detail
 
-}  // namespace
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              const std::string& extra_json) {
+  std::string out;
+  out.reserve(events.size() * 120 + extra_json.size() + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":";
+    detail::append_json_escaped(out, e.name);
+    out += ",\"cat\":";
+    detail::append_json_escaped(out, e.cat);
+    const bool complete = e.dur_ns >= 0;
+    char buf[64];
+    if (e.flow != 0) {
+      // Flow events bind by id: "s" opens the arrow at the producer's
+      // slice, "f" with bp:"e" closes it at the consumer's.
+      std::snprintf(buf, sizeof(buf), ",\"ph\":\"%s\",\"id\":%llu",
+                    e.flow == 1 ? "s" : "f",
+                    static_cast<unsigned long long>(e.flow_id));
+      out += buf;
+      if (e.flow != 1) out += ",\"bp\":\"e\"";
+    } else {
+      out += complete ? ",\"ph\":\"X\"" : ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f",
+                  static_cast<f64>(e.ts_ns) * 1e-3);
+    out += buf;
+    if (complete) {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
+                    static_cast<f64>(e.dur_ns) * 1e-3);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%d",
+                  static_cast<int>(e.tid));
+    out += buf;
+    if (e.nargs > 0) {
+      out += ",\"args\":{";
+      for (i32 a = 0; a < e.nargs; ++a) {
+        if (a > 0) out += ",";
+        detail::append_json_escaped(out, e.arg_keys[a]);
+        out += ":";
+        append_json_number(out, e.arg_vals[a]);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]";
+  if (!extra_json.empty()) {
+    out += ",";
+    out += extra_json;
+  }
+  out += ",\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
 
 struct TraceRecorder::ThreadBuffer {
   std::mutex mutex;
@@ -89,7 +153,19 @@ TraceRecorder& TraceRecorder::instance() {
 }
 
 void TraceRecorder::set_enabled(bool on) {
-  enabled_.store(on, std::memory_order_relaxed);
+  if (on) {
+    capture_.fetch_or(kTrace, std::memory_order_relaxed);
+  } else {
+    capture_.fetch_and(~kTrace, std::memory_order_relaxed);
+  }
+}
+
+void TraceRecorder::set_flight_capture(bool on) {
+  if (on) {
+    capture_.fetch_or(kFlight, std::memory_order_relaxed);
+  } else {
+    capture_.fetch_and(~kFlight, std::memory_order_relaxed);
+  }
 }
 
 void TraceRecorder::set_kernel_spans(bool on) {
@@ -139,16 +215,22 @@ void TraceRecorder::retire_thread(ThreadBuffer& buffer) {
 }
 
 void TraceRecorder::record(const TraceEvent& event) {
-  if (!enabled()) return;
+  const u32 capture = capture_.load(std::memory_order_relaxed);
+  if (capture == 0) return;
   ThreadBuffer& buffer = local_buffer();
   TraceEvent copy = event;
   copy.tid = buffer.tid;
-  std::lock_guard<std::mutex> lock(buffer.mutex);
-  buffer.events.push_back(copy);
+  if ((capture & kTrace) != 0) {
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(copy);
+  }
+  if ((capture & kFlight) != 0) {
+    FlightRecorder::instance().append(copy);
+  }
 }
 
 void TraceRecorder::instant(const char* name, const char* cat) {
-  if (!enabled()) return;
+  if (!capturing()) return;
   TraceEvent e;
   e.name = name;
   e.cat = cat;
@@ -158,7 +240,7 @@ void TraceRecorder::instant(const char* name, const char* cat) {
 
 void TraceRecorder::instant(const char* name, const char* cat,
                             const char* key, f64 value) {
-  if (!enabled()) return;
+  if (!capturing()) return;
   TraceEvent e;
   e.name = name;
   e.cat = cat;
@@ -172,7 +254,7 @@ void TraceRecorder::instant(const char* name, const char* cat,
 void TraceRecorder::instant(const char* name, const char* cat,
                             const char* key0, f64 val0, const char* key1,
                             f64 val1) {
-  if (!enabled()) return;
+  if (!capturing()) return;
   TraceEvent e;
   e.name = name;
   e.cat = cat;
@@ -182,6 +264,18 @@ void TraceRecorder::instant(const char* name, const char* cat,
   e.arg_vals[0] = val0;
   e.arg_keys[1] = key1;
   e.arg_vals[1] = val1;
+  record(e);
+}
+
+void TraceRecorder::flow(const char* name, const char* cat, u64 id,
+                         bool start) {
+  if (!capturing()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_ns = now_ns();
+  e.flow = start ? 1 : 2;
+  e.flow_id = id;
   record(e);
 }
 
@@ -229,46 +323,7 @@ std::map<std::string, f64> TraceRecorder::span_seconds_by_name() const {
 }
 
 std::string TraceRecorder::chrome_trace_json() const {
-  const std::vector<TraceEvent> events = snapshot();
-  std::string out;
-  out.reserve(events.size() * 120 + 64);
-  out += "{\"traceEvents\":[";
-  bool first = true;
-  for (const TraceEvent& e : events) {
-    if (!first) out += ",";
-    first = false;
-    out += "\n{\"name\":";
-    append_json_string(out, e.name);
-    out += ",\"cat\":";
-    append_json_string(out, e.cat);
-    const bool complete = e.dur_ns >= 0;
-    out += complete ? ",\"ph\":\"X\"" : ",\"ph\":\"i\",\"s\":\"t\"";
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f",
-                  static_cast<f64>(e.ts_ns) * 1e-3);
-    out += buf;
-    if (complete) {
-      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
-                    static_cast<f64>(e.dur_ns) * 1e-3);
-      out += buf;
-    }
-    std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%d",
-                  static_cast<int>(e.tid));
-    out += buf;
-    if (e.nargs > 0) {
-      out += ",\"args\":{";
-      for (i32 a = 0; a < e.nargs; ++a) {
-        if (a > 0) out += ",";
-        append_json_string(out, e.arg_keys[a]);
-        out += ":";
-        append_json_number(out, e.arg_vals[a]);
-      }
-      out += "}";
-    }
-    out += "}";
-  }
-  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
-  return out;
+  return obs::chrome_trace_json(snapshot());
 }
 
 void TraceRecorder::write_chrome_trace(const std::string& path) const {
@@ -283,21 +338,59 @@ void TraceRecorder::write_chrome_trace(const std::string& path) const {
 // Environment activation: FEKF_TRACE=<path> enables tracing at startup and
 // writes the Chrome trace at process exit; FEKF_METRICS=<path> does the
 // same for the metrics registry dump; FEKF_TRACE_KERNELS=1 adds per-kernel
-// spans on top of tracing. Construction order is safe because the
-// constructor touches instance() (leaked) before anything records.
+// spans on top of capturing; FEKF_FLIGHT arms the flight recorder and
+// FEKF_TELEMETRY starts the JSONL sampler (obs/flight.hpp,
+// obs/telemetry.hpp). Construction order is safe because activation
+// touches instance() (leaked) before anything records.
+//
+// The exporter runs from std::atexit over intentionally-leaked state — an
+// idempotent latch, never a static destructor — so late pool-worker
+// teardown (whose thread_local retirement runs after function-local
+// statics are destroyed) and crash-path flight dumps can never race a
+// destructed path string. PR 4's workspace registry adopted the same
+// immortal pattern for the same reason.
 // ---------------------------------------------------------------------------
 
 namespace {
 
-struct EnvActivation {
+struct ActivationState {
   std::string trace_path;
   std::string metrics_path;
+  std::atomic<bool> exported{false};
+};
 
+ActivationState* activation_state() {
+  static ActivationState* state = new ActivationState();  // leaked
+  return state;
+}
+
+void fekf_obs_export_at_exit() {
+  ActivationState* state = activation_state();
+  if (state->exported.exchange(true, std::memory_order_acq_rel)) return;
+  // Best-effort export: a failing write must not escape process teardown.
+  try {
+    TelemetrySampler::instance().stop();  // final sample + join
+    if (!state->trace_path.empty()) {
+      TraceRecorder::instance().write_chrome_trace(state->trace_path);
+    }
+    if (!state->metrics_path.empty()) {
+      MetricsRegistry::instance().write_json(state->metrics_path);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[warn] observability export failed: %s\n",
+                 e.what());
+  }
+}
+
+struct EnvActivation {
   EnvActivation() {
+    ActivationState* state = activation_state();
+    bool want_export = false;
     if (const char* path = env::get("FEKF_TRACE")) {
       if (path[0] != '\0') {
-        trace_path = path;
+        state->trace_path = path;
         TraceRecorder::instance().set_enabled(true);
+        want_export = true;
       }
     }
     if (const char* on = env::get("FEKF_TRACE_KERNELS")) {
@@ -307,25 +400,24 @@ struct EnvActivation {
     }
     if (const char* path = env::get("FEKF_METRICS")) {
       if (path[0] != '\0') {
-        metrics_path = path;
+        state->metrics_path = path;
         set_metrics_enabled(true);
+        want_export = true;
       }
     }
-  }
-
-  ~EnvActivation() {
-    // Best-effort export: a failing write must not escape a destructor
-    // during process teardown.
-    try {
-      if (!trace_path.empty()) {
-        TraceRecorder::instance().write_chrome_trace(trace_path);
+    if (const char* spec = env::get("FEKF_FLIGHT")) {
+      if (spec[0] != '\0') {
+        FlightRecorder::instance().arm(spec);
       }
-      if (!metrics_path.empty()) {
-        MetricsRegistry::instance().write_json(metrics_path);
+    }
+    if (const char* spec = env::get("FEKF_TELEMETRY")) {
+      if (spec[0] != '\0') {
+        TelemetrySampler::instance().start_from_spec(spec);
+        want_export = true;  // stop() flushes the final sample
       }
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "[warn] observability export failed: %s\n",
-                   e.what());
+    }
+    if (want_export) {
+      std::atexit(fekf_obs_export_at_exit);
     }
   }
 };

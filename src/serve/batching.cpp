@@ -1,6 +1,7 @@
 #include "serve/batching.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
 #include "core/env.hpp"
@@ -8,6 +9,13 @@
 #include "obs/trace.hpp"
 
 namespace fekf::serve {
+
+namespace {
+/// Process-wide request ids: dense, never reused, shared by every
+/// evaluator instance so a trace mixing two evaluators still has unique
+/// flow ids.
+std::atomic<u64> g_next_request_id{1};
+}  // namespace
 
 BatchingConfig BatchingConfig::from_env() {
   BatchingConfig c;
@@ -57,11 +65,22 @@ std::future<EvalResult> BatchingEvaluator::submit(EvalRequest request) {
                  ? "pin_version was never published"
                  : "registry has no published model yet");
 
+  const u64 request_id =
+      g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+  obs::ScopedSpan enqueue_span("serve.enqueue", "serve");
+  enqueue_span.arg("rid", static_cast<f64>(request_id));
+  enqueue_span.arg("version", static_cast<f64>(snap->version));
+  // Flow start inside the enqueue span: the arrow lands on the batch span
+  // of whichever worker executes this request.
+  obs::TraceRecorder::instance().flow("serve.request", "serve", request_id,
+                                      /*start=*/true);
+
   Pending pending;
   // Geometry preprocessing on the walker's thread, not the worker's.
   pending.env = snap->model->prepare(request.snapshot);
   pending.with_forces = request.with_forces;
   pending.snapshot = snap;
+  pending.request_id = request_id;
   pending.submit_seconds = registry_.now_seconds();
   pending.deadline_seconds = request.deadline_s >= 0.0
                                  ? pending.submit_seconds + request.deadline_s
@@ -144,7 +163,14 @@ std::vector<BatchingEvaluator::Pending> BatchingEvaluator::next_batch() {
 
 void BatchingEvaluator::worker_loop() {
   for (;;) {
-    std::vector<Pending> batch = next_batch();
+    std::vector<Pending> batch;
+    {
+      // The batch-form span covers the whole coalescing window: waiting
+      // for the first request plus the max_wait_s gathering time.
+      obs::ScopedSpan form_span("serve.batch_form", "serve");
+      batch = next_batch();
+      form_span.arg("size", static_cast<f64>(batch.size()));
+    }
     if (batch.empty()) return;
     const ModelSnapshot* snap = batch.front().snapshot;
     const bool with_forces = batch.front().with_forces;
@@ -152,6 +178,15 @@ void BatchingEvaluator::worker_loop() {
     obs::ScopedSpan span("serve.batch", "serve");
     span.arg("size", static_cast<f64>(batch.size()));
     span.arg("version", static_cast<f64>(snap->version));
+    // Flow finish per member: links each request's enqueue span (where
+    // the flow started) to this batch span.
+    if (obs::TraceRecorder::capturing()) {
+      auto& recorder = obs::TraceRecorder::instance();
+      for (const Pending& p : batch) {
+        recorder.flow("serve.request", "serve", p.request_id,
+                      /*start=*/false);
+      }
+    }
 
     std::vector<std::shared_ptr<const deepmd::EnvData>> envs;
     envs.reserve(batch.size());
@@ -159,12 +194,22 @@ void BatchingEvaluator::worker_loop() {
 
     const f64 eval_start = registry_.now_seconds();
     try {
-      std::vector<EvalResult> results =
-          evaluate_prepared(*snap->model, envs, with_forces);
+      std::vector<EvalResult> results;
+      {
+        obs::ScopedSpan execute_span("serve.execute", "serve");
+        execute_span.arg("size", static_cast<f64>(batch.size()));
+        execute_span.arg("version", static_cast<f64>(snap->version));
+        results = evaluate_prepared(*snap->model, envs, with_forces);
+      }
       for (std::size_t i = 0; i < batch.size(); ++i) {
         results[i].model_version = snap->version;
+        results[i].request_id = batch[i].request_id;
         results[i].queue_seconds = eval_start - batch[i].submit_seconds;
         batch[i].promise.set_value(std::move(results[i]));
+        obs::TraceRecorder::instance().instant(
+            "serve.complete", "serve", "rid",
+            static_cast<f64>(batch[i].request_id), "latency_s",
+            registry_.now_seconds() - batch[i].submit_seconds);
       }
     } catch (...) {
       for (Pending& p : batch) {
@@ -189,9 +234,14 @@ void BatchingEvaluator::worker_loop() {
           .record(static_cast<f64>(batch.size()));
       metrics.histogram("serve.batch_eval_seconds")
           .record(registry_.now_seconds() - eval_start);
+      const f64 complete_seconds = registry_.now_seconds();
       for (const Pending& p : batch) {
         metrics.histogram("serve.queue_wait_seconds")
             .record(eval_start - p.submit_seconds);
+        // Submit-to-complete: the request-level SLO bench_serving reports
+        // as p50/p90/p99 and ci/budgets.json gates ("obs" section).
+        metrics.histogram("serve.request_latency_seconds")
+            .record(complete_seconds - p.submit_seconds);
       }
       if (first_serve) {
         metrics.histogram("serve.publish_to_first_serve_seconds")

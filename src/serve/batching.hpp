@@ -73,6 +73,7 @@ class BatchingEvaluator final : public Evaluator {
     std::shared_ptr<const deepmd::EnvData> env;
     bool with_forces = true;
     const ModelSnapshot* snapshot = nullptr;  ///< resolved version
+    u64 request_id = 0;                       ///< trace flow id
     f64 submit_seconds = 0.0;                 ///< registry clock
     f64 deadline_seconds = -1.0;              ///< absolute; < 0: none
     std::promise<EvalResult> promise;

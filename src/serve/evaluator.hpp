@@ -41,6 +41,9 @@ struct EvalResult {
   std::vector<md::Vec3> forces; ///< eV/Å, ORIGINAL atom order; empty
                                 ///< unless with_forces was set
   u64 model_version = 0;        ///< registry version served (0: unversioned)
+  u64 request_id = 0;           ///< per-process unique id (batching path);
+                                ///< also the trace flow id linking the
+                                ///< request's enqueue span to its batch
   f64 queue_seconds = 0.0;      ///< time spent queued (batching path)
   f64 eval_seconds = 0.0;       ///< model time of the (possibly shared) pass
   i64 batch_size = 1;           ///< requests coalesced into that pass

@@ -203,6 +203,16 @@ TrainResult run_resilient_epochs(deepmd::DeepmdModel& model,
         metrics.histogram("train.step_seconds").record(step_watch.seconds());
         if (!reason.empty()) metrics.counter("train.rollbacks").inc();
         metrics.gauge("train.loss_ema").set(loss_ema);
+        metrics.gauge("train.loss").set(sig.loss);
+        // Arena occupancy, so the telemetry sampler's time-series shows
+        // whether steady-state steps stay allocation-free.
+        const WorkspaceStats arena = Workspace::stats();
+        metrics.gauge("arena.reserved_bytes")
+            .set(static_cast<f64>(arena.reserved_bytes));
+        metrics.gauge("arena.peak_scope_bytes")
+            .set(static_cast<f64>(arena.peak_scope_bytes));
+        metrics.gauge("arena.retired_slabs")
+            .set(static_cast<f64>(arena.retired_slabs));
       }
       if (!options.observers.empty()) {
         StepEvent step_event;

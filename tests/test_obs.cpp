@@ -1,10 +1,13 @@
 // Observability layer tests (DESIGN.md §11): Chrome-trace export shape,
 // span nesting and thread-id stability, metrics exactness under the thread
-// pool, histogram bucketing, the disabled-path zero-allocation contract,
-// the KernelLaunch count/span bridge, and the trainer observer hooks.
+// pool, histogram bucketing and percentile interpolation, the
+// disabled-path zero-allocation contract, the KernelLaunch count/span
+// bridge, the flight recorder's ring/dump semantics, the telemetry
+// sampler's JSONL stream, and the trainer observer hooks.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -12,9 +15,13 @@
 #include <limits>
 #include <new>
 #include <sstream>
+#include <thread>
 
 #include "data/dataset.hpp"
+#include "json_validator.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/kernel_counter.hpp"
@@ -76,145 +83,7 @@ using obs::MetricsRegistry;
 using obs::ScopedSpan;
 using obs::TraceEvent;
 using obs::TraceRecorder;
-
-// ---------------------------------------------------------------------------
-// Minimal recursive-descent JSON validator — enough to certify the exports
-// are well-formed without a JSON dependency.
-// ---------------------------------------------------------------------------
-
-class JsonValidator {
- public:
-  explicit JsonValidator(const std::string& text)
-      : p_(text.c_str()), end_(text.c_str() + text.size()) {}
-
-  /// True iff the whole input is exactly one valid JSON value.
-  bool valid() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return p_ == end_;
-  }
-
- private:
-  void skip_ws() {
-    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
-                         *p_ == '\r')) {
-      ++p_;
-    }
-  }
-  bool literal(const char* s) {
-    const char* q = p_;
-    while (*s != '\0') {
-      if (q == end_ || *q != *s) return false;
-      ++q, ++s;
-    }
-    p_ = q;
-    return true;
-  }
-  bool string() {
-    if (p_ == end_ || *p_ != '"') return false;
-    ++p_;
-    while (p_ < end_ && *p_ != '"') {
-      if (static_cast<unsigned char>(*p_) < 0x20) return false;
-      if (*p_ == '\\') {
-        ++p_;
-        if (p_ == end_) return false;
-        const char c = *p_;
-        if (c == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++p_;
-            if (p_ == end_ || !std::isxdigit(static_cast<unsigned char>(*p_)))
-              return false;
-          }
-        } else if (c != '"' && c != '\\' && c != '/' && c != 'b' &&
-                   c != 'f' && c != 'n' && c != 'r' && c != 't') {
-          return false;
-        }
-      }
-      ++p_;
-    }
-    if (p_ == end_) return false;
-    ++p_;  // closing quote
-    return true;
-  }
-  bool number() {
-    const char* q = p_;
-    if (q < end_ && *q == '-') ++q;
-    const char* digits = q;
-    while (q < end_ && std::isdigit(static_cast<unsigned char>(*q))) ++q;
-    if (q == digits) return false;
-    if (q < end_ && *q == '.') {
-      ++q;
-      const char* frac = q;
-      while (q < end_ && std::isdigit(static_cast<unsigned char>(*q))) ++q;
-      if (q == frac) return false;
-    }
-    if (q < end_ && (*q == 'e' || *q == 'E')) {
-      ++q;
-      if (q < end_ && (*q == '+' || *q == '-')) ++q;
-      const char* exp = q;
-      while (q < end_ && std::isdigit(static_cast<unsigned char>(*q))) ++q;
-      if (q == exp) return false;
-    }
-    p_ = q;
-    return true;
-  }
-  bool value() {
-    skip_ws();
-    if (p_ == end_) return false;
-    switch (*p_) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-  bool object() {
-    ++p_;  // '{'
-    skip_ws();
-    if (p_ < end_ && *p_ == '}') return ++p_, true;
-    while (true) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (p_ == end_ || *p_ != ':') return false;
-      ++p_;
-      if (!value()) return false;
-      skip_ws();
-      if (p_ < end_ && *p_ == ',') {
-        ++p_;
-        continue;
-      }
-      break;
-    }
-    if (p_ == end_ || *p_ != '}') return false;
-    ++p_;
-    return true;
-  }
-  bool array() {
-    ++p_;  // '['
-    skip_ws();
-    if (p_ < end_ && *p_ == ']') return ++p_, true;
-    while (true) {
-      if (!value()) return false;
-      skip_ws();
-      if (p_ < end_ && *p_ == ',') {
-        ++p_;
-        continue;
-      }
-      break;
-    }
-    if (p_ == end_ || *p_ != ']') return false;
-    ++p_;
-    return true;
-  }
-
-  const char* p_;
-  const char* end_;
-};
+using testutil::JsonValidator;
 
 /// RAII: force tracing to a known state, restore on exit, drop any events
 /// this test recorded.
@@ -243,6 +112,20 @@ std::string read_file(const std::string& path) {
   out << in.rdbuf();
   return out.str();
 }
+
+/// RAII: arm the flight recorder to a fresh dump path, disarm and drop the
+/// rings on exit so later tests see a disarmed recorder.
+class FlightScope {
+ public:
+  explicit FlightScope(const std::string& path,
+                       i64 capacity = obs::FlightRecorder::kDefaultCapacity) {
+    obs::FlightRecorder::instance().arm_path(path, capacity);
+  }
+  ~FlightScope() {
+    obs::FlightRecorder::instance().disarm();
+    obs::FlightRecorder::instance().clear();
+  }
+};
 
 // ---------------------------------------------------------------------------
 // Tracing
@@ -342,15 +225,23 @@ TEST(Trace, ThreadIdsAreStableAndDense) {
 
 TEST(Trace, DisabledPathRecordsNothingAndAllocatesNothing) {
   TraceScope scope(/*enabled=*/false);
+  ASSERT_FALSE(obs::FlightRecorder::instance().armed());
+  auto& recorder = TraceRecorder::instance();
   const i64 before = g_allocations.load(std::memory_order_relaxed);
   for (int i = 0; i < 1000; ++i) {
     ScopedSpan span("hot", "test");
     span.arg("x", 1.0);
     KernelLaunch launch("hot_kernel");
+    // The newer site kinds honor the same contract: flow links and
+    // instants are no-ops (and allocation-free) while nothing captures,
+    // with the flight sink disarmed.
+    recorder.flow("hot_flow", "test", static_cast<u64>(i), /*start=*/true);
+    recorder.instant("hot_mark", "test");
   }
   const i64 after = g_allocations.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0) << "disabled spans must not allocate";
   EXPECT_EQ(TraceRecorder::instance().event_count(), 0);
+  EXPECT_EQ(obs::FlightRecorder::instance().appended(), 0u);
 }
 
 TEST(Trace, KernelLaunchBridgesCountsToSpans) {
@@ -386,6 +277,89 @@ TEST(Trace, SpanSecondsByNameSumsCompleteSpans) {
   ASSERT_TRUE(by_name.count("phase_a"));
   EXPECT_GE(by_name["phase_a"], 0.0);
   EXPECT_FALSE(by_name.count("not_a_span"));
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(Flight, RetiredThreadRingSurvivesAndDumpIsLoadable) {
+  TraceScope scope(/*enabled=*/false);
+  const std::string path = ::testing::TempDir() + "/flight_retired.json";
+  FlightScope flight(path);
+  auto& recorder = obs::FlightRecorder::instance();
+
+  std::thread worker([] {
+    ScopedSpan span("retired_thread_span", "test");
+    TraceRecorder::instance().instant("retired_thread_mark", "test");
+  });
+  worker.join();
+
+  // The worker's ring is owned by the recorder, not the thread_local, so
+  // its events survive the thread.
+  bool found = false;
+  for (const TraceEvent& e : recorder.ring_snapshot()) {
+    if (std::string(e.name) == "retired_thread_span") found = true;
+  }
+  EXPECT_TRUE(found) << "exited thread's ring was lost";
+
+  ASSERT_TRUE(recorder.dump("test dump", /*force=*/true));
+  EXPECT_EQ(recorder.dump_count(), 1);
+  const std::string json = read_file(path);
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("retired_thread_span"), std::string::npos);
+  EXPECT_NE(json.find("\"dumpReason\":\"test dump\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+}
+
+TEST(Flight, RingWraparoundKeepsNewestWithExactDropCount) {
+  TraceScope scope(/*enabled=*/false);
+  const std::string path = ::testing::TempDir() + "/flight_wrap.json";
+  constexpr i64 kCapacity = 64;
+  constexpr int kEvents = 100;
+  FlightScope flight(path, kCapacity);
+  auto& recorder = obs::FlightRecorder::instance();
+
+  // A fresh thread gets a fresh ring, so the counts below are exact.
+  std::thread worker([] {
+    for (int i = 0; i < kEvents; ++i) {
+      TraceRecorder::instance().instant("wrap", "test", "i",
+                                        static_cast<f64>(i));
+    }
+  });
+  worker.join();
+
+  const auto events = recorder.ring_snapshot();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kCapacity));
+  f64 min_arg = 1e300, max_arg = -1.0;
+  for (const TraceEvent& e : events) {
+    ASSERT_STREQ(e.name, "wrap");
+    ASSERT_EQ(e.nargs, 1);
+    min_arg = std::min(min_arg, e.arg_vals[0]);
+    max_arg = std::max(max_arg, e.arg_vals[0]);
+  }
+  // Oldest overwritten first: exactly the newest kCapacity remain.
+  EXPECT_EQ(min_arg, static_cast<f64>(kEvents - kCapacity));
+  EXPECT_EQ(max_arg, static_cast<f64>(kEvents - 1));
+  EXPECT_EQ(recorder.appended(), static_cast<u64>(kEvents));
+  EXPECT_EQ(recorder.dropped(), static_cast<u64>(kEvents - kCapacity));
+}
+
+TEST(Flight, ArmedSteadyStateDoesNotAllocate) {
+  TraceScope scope(/*enabled=*/false);
+  const std::string path = ::testing::TempDir() + "/flight_steady.json";
+  FlightScope flight(path, /*capacity=*/256);
+  // Warm this thread's ring: the one permitted allocation (slot storage).
+  TraceRecorder::instance().instant("warmup", "test");
+  const i64 before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    ScopedSpan span("armed_hot", "test");
+    span.arg("x", 1.0);
+  }
+  const i64 after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "armed flight recording must overwrite in place, not allocate";
 }
 
 // ---------------------------------------------------------------------------
@@ -459,11 +433,86 @@ TEST(Metrics, RegistryJsonIsWellFormed) {
   EXPECT_NE(json.find("\"test.json_histogram\""), std::string::npos);
 }
 
+TEST(Metrics, HistogramPercentileInterpolates) {
+  obs::Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0.0);  // empty histogram
+
+  h.record(0.25);
+  // One sample: every quantile collapses to it (clamped to [min, max]).
+  EXPECT_DOUBLE_EQ(h.percentile(0.01), 0.25);
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 0.25);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.25);
+
+  h.reset();
+  for (int i = 1; i <= 1000; ++i) h.record(i * 1e-3);
+  const f64 p50 = h.percentile(0.50);
+  const f64 p90 = h.percentile(0.90);
+  const f64 p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  // Log2 buckets are coarse, but interpolation must keep the median in
+  // the right neighborhood of the true 0.5 for a uniform ramp.
+  EXPECT_GT(p50, 0.2);
+  EXPECT_LT(p50, 1.0);
+}
+
+TEST(Metrics, RegistryJsonReportsPercentiles) {
+  auto& registry = MetricsRegistry::instance();
+  auto& h = registry.histogram("test.percentile_hist");
+  h.reset();
+  for (int i = 1; i <= 100; ++i) h.record(i * 1e-3);
+  const std::string json = registry.json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  for (const char* key : {"\"p50\":", "\"p90\":", "\"p99\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  h.reset();
+}
+
 TEST(Metrics, StableReferencesAcrossLookups) {
   auto& registry = MetricsRegistry::instance();
   auto& a = registry.counter("test.stable");
   auto& b = registry.counter("test.stable");
   EXPECT_EQ(&a, &b);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry sampler
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, SamplerWritesValidJsonlWithPercentiles) {
+  auto& registry = MetricsRegistry::instance();
+  registry.histogram("test.telemetry_hist").reset();
+  registry.histogram("test.telemetry_hist").record(0.01);
+
+  const std::string path = ::testing::TempDir() + "/telemetry.jsonl";
+  auto& sampler = obs::TelemetrySampler::instance();
+  sampler.start(path, /*interval_s=*/0.005);
+  // Poll instead of a fixed sleep: the 1-core CI host schedules the
+  // sampler thread erratically.
+  for (int i = 0; i < 2000 && sampler.samples() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.samples(), 2);
+
+  std::ifstream in(path);
+  std::string line, last;
+  i64 lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(JsonValidator(line).valid()) << line;
+    EXPECT_NE(line.find("\"t_s\":"), std::string::npos);
+    last = line;
+    ++lines;
+  }
+  EXPECT_GE(lines, 2);
+  // The histogram section carries interpolated quantiles, not just sums.
+  EXPECT_NE(last.find("test.telemetry_hist"), std::string::npos);
+  EXPECT_NE(last.find("\"p99\":"), std::string::npos);
+  registry.histogram("test.telemetry_hist").reset();
 }
 
 // ---------------------------------------------------------------------------

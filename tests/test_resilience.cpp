@@ -15,6 +15,8 @@
 #include "core/fault.hpp"
 #include "data/dataset.hpp"
 #include "dist/cluster.hpp"
+#include "json_validator.hpp"
+#include "obs/flight.hpp"
 #include "train/checkpoint.hpp"
 #include "train/trainer.hpp"
 
@@ -334,6 +336,40 @@ TEST(Sentinel, NanGradInjectionRollsBackAndRecovers) {
   };
   // Recovery itself is deterministic: identical runs, identical weights.
   EXPECT_EQ(run_injected(), run_injected());
+}
+
+TEST(Sentinel, NanGradFaultDumpsFlightTrace) {
+  // The black-box contract end to end: arm the flight recorder, inject a
+  // poisoned gradient, and the divergence sentinel's FaultLog record must
+  // flush a loadable Chrome trace with the recent spans and the fault's
+  // kind/action — with no FEKF_* tracing enabled.
+  InjectorGuard guard("nan_grad@step=3");
+  Fixture f = make_fixture();
+  TempFile file("fekf_flight_nan_grad.json");
+  auto& flight = obs::FlightRecorder::instance();
+  flight.arm_path(file.path);
+
+  KalmanTrainer trainer(*f.model, base_kalman(), base_options(2, 2));
+  TrainResult result = trainer.train(f.train_envs, {});
+  const i64 dumps = flight.dump_count();
+  flight.disarm();
+  flight.clear();
+
+  EXPECT_EQ(result.faults.count("nonfinite_signal"), 1);
+  ASSERT_GE(dumps, 1) << "fault was logged but no flight dump fired";
+
+  const std::string json = slurp(file.path);
+  EXPECT_TRUE(fekf::testutil::JsonValidator(json).valid());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"dumpReason\""), std::string::npos);
+  EXPECT_NE(json.find("nonfinite_signal"), std::string::npos);
+  EXPECT_NE(json.find("rollback_skip_batch"), std::string::npos);
+  EXPECT_NE(json.find("\"flightDropped\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  // The ring held the spans leading up to the fault: the training step
+  // envelope and the forward pass must both appear in the black box.
+  EXPECT_NE(json.find("\"step\""), std::string::npos);
+  EXPECT_NE(json.find("\"forward\""), std::string::npos);
 }
 
 TEST(Sentinel, AdamNanGradInjectionRecovers) {
